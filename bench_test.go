@@ -1,0 +1,210 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§8). Each benchmark wraps the corresponding internal/experiments
+// generator; run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the experiment's headline numbers (counts,
+// reductions, gains) so a benchmark run doubles as a results summary; see
+// EXPERIMENTS.md for paper-vs-measured values.
+package sonar
+
+import (
+	"strings"
+	"testing"
+
+	"sonar/internal/experiments"
+	"sonar/internal/fuzz"
+)
+
+// benchIters is the campaign length used by the campaign benchmarks. The
+// paper runs 3000 iterations; benchmarks use a shorter budget so the full
+// suite stays in CI range. cmd/sonar-bench -iters 3000 reproduces the
+// paper-scale run.
+const benchIters = 500
+
+func BenchmarkTable1_DUTConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure6_ContentionPointIdentification(b *testing.B) {
+	var rs []experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.Figure6()
+	}
+	b.ReportMetric(float64(rs[0].TracedPoints), "boom-points")
+	b.ReportMetric(100*rs[0].Reduction(), "boom-reduction-%")
+	b.ReportMetric(float64(rs[1].TracedPoints), "nutshell-points")
+	b.ReportMetric(100*rs[1].Reduction(), "nutshell-reduction-%")
+}
+
+func BenchmarkFigure7_DistributionAndFiltering(b *testing.B) {
+	var rs []experiments.Figure7Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.Figure7()
+	}
+	b.ReportMetric(100*rs[0].FilterReduction(), "boom-filtered-%")
+	b.ReportMetric(100*rs[1].FilterReduction(), "nutshell-filtered-%")
+}
+
+func BenchmarkTable2_InstrumentationOverhead(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table2(10)
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.SimSlowdown(), r.DUT+"-sim-slowdown-%")
+		b.ReportMetric(100*r.CompileOverhead(), r.DUT+"-compile-overhead-%")
+	}
+}
+
+func BenchmarkFigure8_SonarVsRandom(b *testing.B) {
+	var rs []experiments.Figure8Result
+	for i := 0; i < b.N; i++ {
+		rs = experiments.Figure8(benchIters)
+	}
+	for _, r := range rs {
+		b.ReportMetric(100*r.ContentionGain(), r.DUT+"-contention-gain-%")
+		b.ReportMetric(100*r.TimingDiffGain(), r.DUT+"-timingdiff-gain-%")
+	}
+}
+
+func BenchmarkFigure9_SingleValidDominance(b *testing.B) {
+	var r experiments.Figure9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure9()
+	}
+	b.ReportMetric(100*r.DominanceShare(), "single-valid-share-%")
+}
+
+func BenchmarkFigure10_StrategyBreakdown(b *testing.B) {
+	var r experiments.Figure10Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure10(benchIters)
+	}
+	for _, s := range r.Series {
+		name := strings.ReplaceAll(s.Name, " ", "-")
+		b.ReportMetric(float64(s.Final().CumPoints), name+"-points")
+	}
+}
+
+func BenchmarkFigure11_SonarVsSpecDoctor(b *testing.B) {
+	var r experiments.Figure11Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure11(benchIters)
+	}
+	b.ReportMetric(r.NewContentionRatio(), "sonar/specdoctor-ratio")
+	last := r.Complexity[len(r.Complexity)-1]
+	b.ReportMetric(float64(last.SpecDoctorNs)/float64(last.SonarNs), "instr-cost-ratio-at-16k")
+}
+
+func BenchmarkTable3_SideChannels(b *testing.B) {
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table3(3)
+	}
+	detected := 0
+	for _, r := range rows {
+		if r.TimeDiff > 0 {
+			detected++
+		}
+	}
+	b.ReportMetric(float64(detected), "channels-with-timing-diff")
+	b.ReportMetric(float64(len(rows)), "channels-total")
+}
+
+func BenchmarkExploitation_PoCAccuracy(b *testing.B) {
+	var rs []AttackResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.Exploitation(1, 5)
+	}
+	recovered := 0
+	for _, r := range rs {
+		if r.KeyAccuracy >= 1 {
+			recovered++
+		}
+	}
+	b.ReportMetric(float64(recovered), "keys-recovered")
+	b.ReportMetric(float64(len(rs)), "pocs-total")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// Risk filtering off: every traced point is instrumented; the metric is
+// the extra monitors carried.
+func BenchmarkAblation_NoRiskFilter(b *testing.B) {
+	r := experiments.AblationNoFilter()
+	for i := 1; i < b.N; i++ {
+		r = experiments.AblationNoFilter()
+	}
+	b.ReportMetric(float64(r.MonitorsFiltered), "monitors-with-filter")
+	b.ReportMetric(float64(r.MonitorsUnfiltered), "monitors-without-filter")
+}
+
+// Monitoring window off: states are collected over the whole run; the
+// metric is the state-diff noise per finding.
+func BenchmarkAblation_NoMonitoringWindow(b *testing.B) {
+	r := experiments.AblationWindow(60)
+	for i := 1; i < b.N; i++ {
+		r = experiments.AblationWindow(60)
+	}
+	b.ReportMetric(r.StateDiffsWindowed, "statediffs/finding-windowed")
+	b.ReportMetric(r.StateDiffsAlways, "statediffs/finding-whole-run")
+}
+
+// CCD vs raw commit-time comparison: the metric is how many flagged
+// instructions the CCD metric filters out as in-order-commit artifacts.
+func BenchmarkAblation_CCDvsRawCommitTimes(b *testing.B) {
+	r := experiments.AblationCCD(60)
+	for i := 1; i < b.N; i++ {
+		r = experiments.AblationCCD(60)
+	}
+	b.ReportMetric(r.RawFlagged, "raw-flagged/testcase")
+	b.ReportMetric(r.CCDFlagged, "ccd-flagged/testcase")
+}
+
+// Directed mutation vs random mutation at equal budget (the Figure 10
+// delta, isolated).
+func BenchmarkAblation_DirectedVsRandomMutation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10(benchIters)
+		directed := r.Series[3].Final().CumPoints
+		random := r.Series[1].Final().CumPoints
+		gain = float64(directed) / float64(random)
+	}
+	b.ReportMetric(gain, "directed/random-ratio")
+}
+
+// The adaptive direction memory of the directed mutation (§6.2.1) vs
+// random directions at equal budget.
+func BenchmarkAblation_AdaptiveDirection(b *testing.B) {
+	var r experiments.AblationDirectionResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationDirection(benchIters)
+	}
+	b.ReportMetric(float64(r.AdaptivePoints), "adaptive-points")
+	b.ReportMetric(float64(r.RandomDirPoints), "randomdir-points")
+	b.ReportMetric(float64(r.AdaptiveTimingDiffs), "adaptive-timingdiffs")
+	b.ReportMetric(float64(r.RandomDirTimingDiffs), "randomdir-timingdiffs")
+}
+
+// Mitigation extension (§8.6): coarse timers and bus partitioning versus
+// the strongest PoCs.
+func BenchmarkMitigations(b *testing.B) {
+	var rows []experiments.MitigationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Mitigations(5)
+	}
+	for _, r := range rows {
+		if r.Mitigation == "baseline" {
+			b.ReportMetric(100*r.BitAccuracy, r.PoC+"-baseline-acc-%")
+		}
+	}
+}
+
+var _ = fuzz.SonarOptions // keep the import for documentation links

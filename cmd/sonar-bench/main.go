@@ -1,0 +1,58 @@
+// Command sonar-bench regenerates every table and figure of the paper's
+// evaluation (§8) and prints them in order. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+//
+// Usage:
+//
+//	sonar-bench                    # all experiments at default scale
+//	sonar-bench -iters 3000        # paper-scale campaigns (slower)
+//	sonar-bench -only fig8,table3  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sonar/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sonar-bench: ")
+	var (
+		iters  = flag.Int("iters", 400, "campaign iterations for Figures 8/10/11 (paper: 3000)")
+		trials = flag.Int("trials", 7, "PoC trials per key bit for Table 3 / exploitation")
+		only   = flag.String("only", "", "comma-separated subset: table1,fig6,fig7,table2,fig8,fig9,fig10,fig11,table3,exploit,mitigations")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string, f func()) {
+		if len(want) > 0 && !want[key] {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("  [%s in %v]\n\n", key, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() { fmt.Print(experiments.Table1()) })
+	run("fig6", func() { fmt.Print(experiments.RenderFigure6(experiments.Figure6())) })
+	run("fig7", func() { fmt.Print(experiments.RenderFigure7(experiments.Figure7())) })
+	run("table2", func() { fmt.Print(experiments.RenderTable2(experiments.Table2(0))) })
+	run("fig8", func() { fmt.Print(experiments.RenderFigure8(experiments.Figure8(*iters))) })
+	run("fig9", func() { fmt.Print(experiments.RenderFigure9(experiments.Figure9())) })
+	run("fig10", func() { fmt.Print(experiments.RenderFigure10(experiments.Figure10(*iters))) })
+	run("fig11", func() { fmt.Print(experiments.RenderFigure11(experiments.Figure11(*iters))) })
+	run("table3", func() { fmt.Print(experiments.RenderTable3(experiments.Table3(*trials))) })
+	run("exploit", func() { fmt.Print(experiments.RenderExploitation(experiments.Exploitation(1, *trials+2))) })
+	run("mitigations", func() { fmt.Print(experiments.RenderMitigations(experiments.Mitigations(*trials))) })
+}

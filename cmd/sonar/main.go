@@ -1,0 +1,130 @@
+// Command sonar runs the full Sonar pipeline against one of the bundled
+// DUTs: contention-point identification and filtering, reqsIntvl-guided
+// fuzzing, and dual-differential side-channel detection.
+//
+// Usage:
+//
+//	sonar [-dut boom|nutshell] [-iters N] [-seed N] [-dual] [-random] [-v]
+//
+// Examples:
+//
+//	sonar -dut boom -iters 500          # guided campaign on BOOM
+//	sonar -dut nutshell -random         # random-testing baseline
+//	sonar -dut boom -dual -iters 200    # dual-core template (Figure 4b)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sonar/internal/boom"
+	"sonar/internal/core"
+	"sonar/internal/detect"
+	"sonar/internal/fuzz"
+	"sonar/internal/nutshell"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sonar: ")
+	var (
+		dut     = flag.String("dut", "boom", "device under test: boom or nutshell")
+		iters   = flag.Int("iters", 300, "fuzzing iterations")
+		seed    = flag.Int64("seed", 1, "campaign RNG seed")
+		dual    = flag.Bool("dual", false, "dual-core scenario (boom only)")
+		random  = flag.Bool("random", false, "disable all guidance (random-testing baseline)")
+		verbose = flag.Bool("v", false, "print every finding")
+		perf    = flag.Bool("perf", false, "print pipeline performance counters of the last execution")
+		save    = flag.String("save", "", "directory to export finding testcases into (Testcase.Marshal format)")
+		replay  = flag.String("replay", "", "replay one exported testcase file instead of fuzzing")
+	)
+	flag.Parse()
+
+	var s *core.Sonar
+	switch {
+	case *dut == "boom" && *dual:
+		s = core.New(boom.NewDual())
+	case *dut == "boom":
+		s = core.New(boom.New())
+	case *dut == "nutshell" && *dual:
+		log.Fatal("the NutShell model is single-core")
+	case *dut == "nutshell":
+		s = core.New(nutshell.New())
+	default:
+		log.Fatalf("unknown DUT %q (want boom or nutshell)", *dut)
+	}
+
+	fmt.Print(s.Identify())
+
+	if *replay != "" {
+		src, err := os.ReadFile(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc, err := fuzz.Unmarshal(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		exA := s.DUT.Execute(tc, 0)
+		exB := s.DUT.Execute(tc, 1)
+		fmt.Printf("replayed %s: %d/%d cycles under secret 0/1\n", *replay, exA.Cycles, exB.Cycles)
+		if f := detect.Analyze(exA.Log, exB.Log, exA.Snap, exB.Snap); f != nil {
+			fmt.Printf("side channel reproduced:\n%s", f)
+		} else {
+			fmt.Println("no secret-dependent timing difference on replay")
+		}
+		return
+	}
+
+	opt := fuzz.SonarOptions(*iters)
+	if *random {
+		opt = fuzz.RandomOptions(*iters)
+	}
+	opt.Seed = *seed
+	opt.DualCore = *dual
+	opt.KeepFindings = 32
+
+	fmt.Printf("fuzzing %d iterations (retention=%v selection=%v directed=%v dual=%v)...\n",
+		opt.Iterations, opt.Retention || opt.Selection || opt.DirectedMutation,
+		opt.Selection || opt.DirectedMutation, opt.DirectedMutation, opt.DualCore)
+	st := s.Fuzz(opt)
+	last := st.PerIteration[len(st.PerIteration)-1]
+	fmt.Printf("triggered %d contention points, %d testcases exposed secret-dependent timing differences\n",
+		last.CumPoints, last.CumTimingDiffs)
+	fmt.Printf("corpus %d seeds, %d simulated cycles\n", st.CorpusSize, st.ExecutedCycles)
+
+	if *perf {
+		fmt.Printf("\npipeline counters (last execution, core 0):\n%s", s.DUT.SoC.Cores[0].Perf())
+	}
+
+	if len(st.Findings) == 0 {
+		fmt.Println("no side channels detected")
+		os.Exit(0)
+	}
+	fmt.Printf("\nimplicated channel families (§7.2 justification):\n%s",
+		detect.RenderClasses(detect.Classify(st.Findings)))
+	if *save != "" {
+		if err := os.MkdirAll(*save, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, tc := range st.FindingSeeds {
+			name := filepath.Join(*save, fmt.Sprintf("finding-%03d.s", i+1))
+			if err := os.WriteFile(name, []byte(tc.Marshal()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("exported %d finding testcases to %s\n", len(st.FindingSeeds), *save)
+	}
+
+	fmt.Printf("\n%d retained findings (dual-differential verified):\n", len(st.Findings))
+	for i, f := range st.Findings {
+		if !*verbose && i >= 3 {
+			fmt.Printf("... %d more (use -v)\n", len(st.Findings)-i)
+			break
+		}
+		fmt.Printf("--- finding %d ---\n%s", i+1, f)
+	}
+}

@@ -1,0 +1,51 @@
+// Meltdown: exploitability analysis of the discovered side channels
+// (paper §7.3 and §8.5).
+//
+// Every PoC follows Listing 1: a computation block delays an older
+// contending instruction, a privileged load faults but forwards its data
+// transiently, and the secret bit decides whether the transient dependents
+// contend with the older instruction. The attacker reads the cycle counter
+// in the exception handler and recovers a 128-bit kernel key bit by bit.
+//
+// On the BOOM-like core (lazy, commit-time exception handling) the key is
+// recovered; on the NutShell-like core, early in-pipeline exception
+// detection collapses the transient window and the attacks fail — exactly
+// the paper's finding.
+//
+//	go run ./examples/meltdown
+package main
+
+import (
+	"fmt"
+
+	"sonar"
+)
+
+func main() {
+	key := [sonar.KeyBytes]byte{
+		0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67,
+		0x89, 0xAB, 0xCD, 0xEF, 0x5A, 0xA5, 0x3C, 0xC3,
+	}
+	fmt.Printf("planting %d-bit key in privileged memory: %x\n\n", sonar.KeyBytes*8, key)
+
+	fmt.Println("BOOM (lazy exception handling -> transient window):")
+	for _, r := range sonar.Exploit(sonar.BoomPoCs(), key, 1, 7, 42) {
+		report(r)
+	}
+	fmt.Println("\nNutShell (early exception detection -> window collapses):")
+	for _, r := range sonar.Exploit(sonar.NutshellPoCs(), key, 1, 7, 42) {
+		report(r)
+	}
+
+	fmt.Println("\nDual-core TileLink attack (no fault, no transient execution):")
+	report(sonar.ExploitCrossCore(key, 1, 7, 42))
+}
+
+func report(r sonar.AttackResult) {
+	verdict := "key NOT recovered"
+	if r.KeyAccuracy >= 1 {
+		verdict = "key recovered exactly"
+	}
+	fmt.Printf("  %-4s signal %4.0f cycles   bit accuracy %6.1f%%   %s\n",
+		r.ID, r.Signal, 100*r.BitAccuracy, verdict)
+}

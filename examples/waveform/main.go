@@ -1,0 +1,68 @@
+// Waveform: dump a simulated circuit's signals as a VCD file.
+//
+// The Figure 3 contention point is simulated with two request valids
+// colliding, and every signal is streamed to waves.vcd — open it in GTKWave
+// to see the simultaneous arrival the monitor reports as a triggered
+// volatile contention.
+//
+//	go run ./examples/waveform && gtkwave waves.vcd
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sonar/internal/firrtl"
+	"sonar/internal/sim"
+)
+
+const circuit = `
+circuit Lsu :
+  module Lsu :
+    input io_ldq_valid : UInt<1>
+    input io_ldq_bits_idx : UInt<5>
+    input io_stq_valid : UInt<1>
+    input io_stq_bits_idx : UInt<5>
+    input sel_ldq : UInt<1>
+    output ldq_stq_idx : UInt<5>
+    reg count : UInt<8>
+    node next = add(count, UInt<8>(1))
+    count <= next
+    ldq_stq_idx <= mux(sel_ldq, io_ldq_bits_idx, io_stq_bits_idx)
+`
+
+func main() {
+	net, err := firrtl.Parse(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("waves.vcd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	vcd := sim.NewVCD(f, net, nil)
+	s, err := sim.New(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poke := func(name string, v uint64) {
+		if err := s.Poke(name, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	poke("Lsu.io_ldq_bits_idx", 7)
+	poke("Lsu.io_stq_bits_idx", 9)
+	s.Run(3)
+	poke("Lsu.io_ldq_valid", 1)
+	poke("Lsu.io_stq_valid", 1) // simultaneous arrival
+	s.Run(2)
+	poke("Lsu.sel_ldq", 1) // grant the load queue
+	s.Run(3)
+	if err := vcd.Close(net.Cycle()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote waves.vcd — 8 cycles of the Figure 3 contention point")
+}

@@ -1,0 +1,3 @@
+module sonar
+
+go 1.22

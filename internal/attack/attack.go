@@ -1,0 +1,232 @@
+// Package attack implements Sonar's exploitability analysis (paper §7.3 and
+// §8.5): Meltdown-style attack templates (Listing 1) for the newly
+// discovered contention side channels, bit-by-bit extraction of a 128-bit
+// privileged key, and accuracy measurement over repeated jittered trials.
+//
+// The template follows Listing 1: a computation block delays the operand
+// resolution of the older contending instruction; a privileged access
+// faults but — under lazy exception handling — its dependents execute
+// transiently and, depending on the secret bit, contend with the older
+// instruction. The handler reads the cycle counter, and the attacker infers
+// the bit from the elapsed time.
+package attack
+
+import (
+	"math/rand"
+	"sort"
+
+	"sonar/internal/fuzz"
+	"sonar/internal/isa"
+	"sonar/internal/uarch"
+)
+
+// Attack-template registers (disjoint from chain register x9).
+const (
+	regT0     = 20 // rdcycle before the contention window
+	regT1     = 21 // rdcycle in the exception handler
+	regLine5  = 22
+	regPrime  = 23
+	regTmpA   = 24
+	regAddr   = 25
+	regShift  = 26
+	regData   = 28 // fuzz.RegDataBase
+	regPriv   = 29
+	regSecret = 30
+	regTrans  = 31
+)
+
+// KeyBytes is the extracted key size (128 bits, §8.5).
+const KeyBytes = 16
+
+// calibration byte offsets within the privileged page.
+const (
+	calZeroOff = 24 // planted 0x00
+	calOneOff  = 25 // planted 0xff
+)
+
+// PoC is one Meltdown-style proof of concept for a specific side channel.
+type PoC struct {
+	// ID is the paper's side-channel label (e.g. "S5").
+	ID string
+	// Description summarizes the contended resource.
+	Description string
+	// DUT names the core the channel exists on ("boom" or "nutshell").
+	DUT string
+	// NewSoC builds the target system (behavioural configuration).
+	NewSoC func() *uarch.SoC
+	// Template assembles the attack program for one key bit. bitOff is the
+	// absolute bit index within the privileged page; jitter adds 0..3
+	// alignment nops (measurement noise); chainLen sets the length of the
+	// Listing-1 computation block (0 = the template's default).
+	Template func(bitOff, jitter, chainLen int) *isa.Program
+}
+
+// Result is the outcome of running a PoC against a key.
+type Result struct {
+	// ID echoes the PoC label.
+	ID string
+	// BitAccuracy is the fraction of key bits recovered correctly,
+	// averaged over attempts.
+	BitAccuracy float64
+	// KeyAccuracy is the fraction of attempts recovering the whole
+	// 128-bit key exactly — the paper's "inferred accuracy for a
+	// consecutive 128-bit key".
+	KeyAccuracy float64
+	// Delta0 and Delta1 are the calibration timing means for bit 0 and 1.
+	Delta0, Delta1 float64
+	// Signal is the calibration separation |Delta1 - Delta0| in cycles,
+	// comparable to Table 3's "Time Difference".
+	Signal float64
+}
+
+// runner executes attack programs on one SoC instance.
+type runner struct {
+	soc *uarch.SoC
+	rng *rand.Rand
+	key [KeyBytes]byte
+}
+
+func newRunner(p PoC, key [KeyBytes]byte, seed int64) *runner {
+	soc := p.NewSoC()
+	soc.Mem.SetPrivRange(fuzz.PrivBase, fuzz.PrivLimit)
+	return &runner{soc: soc, rng: rand.New(rand.NewSource(seed)), key: key}
+}
+
+// handlerProgram is fetched after the fault commits: it reads the cycle
+// counter and halts.
+func handlerProgram() *isa.Program {
+	return isa.NewProgram(fuzz.HandlerBase,
+		isa.Instr{Op: isa.RDCYCLE, Rd: regT1},
+		isa.Instr{Op: isa.ECALL},
+	)
+}
+
+// trial runs the template once for an absolute privileged bit offset and
+// returns the measured delta (handler entry time minus t0), or -1 if the
+// handler never ran.
+func (r *runner) trial(p PoC, bitOff, chainLen int) int64 {
+	r.soc.Reset()
+	for i, b := range r.key {
+		r.soc.Mem.StoreByte(fuzz.PrivBase+uint64(i), b)
+	}
+	r.soc.Mem.StoreByte(fuzz.PrivBase+calZeroOff, 0x00)
+	r.soc.Mem.StoreByte(fuzz.PrivBase+calOneOff, 0xff)
+
+	prog := p.Template(bitOff, r.rng.Intn(4), chainLen)
+	core := r.soc.Cores[0]
+	core.LoadProgram(prog)
+	r.soc.Mem.WriteBytes(fuzz.HandlerBase, handlerProgram().Image())
+	core.SetHandler(fuzz.HandlerBase)
+	r.soc.Run()
+	t0, t1 := core.Reg(regT0), core.Reg(regT1)
+	if t1 <= t0 {
+		return -1
+	}
+	return int64(t1 - t0)
+}
+
+// deltas collects k raw calibration deltas for a bit offset.
+func (r *runner) deltas(p PoC, bitOff, chainLen, k int) []int64 {
+	out := make([]int64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, r.trial(p, bitOff, chainLen))
+	}
+	return out
+}
+
+// tune scans Listing-1 computation-block lengths against the calibration
+// bits and returns the classifier with the strongest timing signal — the
+// same operand-timing search Sonar's interval-guided mutation performs
+// during fuzzing, reused at exploitation time.
+func (r *runner) tune(p PoC, k int) (chainLen int, cls classifier) {
+	type cand struct {
+		l   int
+		sep int64
+	}
+	var cands []cand
+	for l := 2; l <= 60; l += 2 {
+		c := newClassifier(r.deltas(p, calZeroOff*8, l, k), r.deltas(p, calOneOff*8, l, k))
+		if !c.ok {
+			continue
+		}
+		cands = append(cands, cand{l, c.separation()})
+	}
+	if len(cands) == 0 {
+		return 0, classifier{}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].sep > cands[j].sep })
+	// Verify the top candidates with fresh trials: a small sample can show
+	// spurious jitter-driven separation that does not reproduce.
+	var best int64 = -1
+	for i := 0; i < len(cands) && i < 4; i++ {
+		l := cands[i].l
+		c := newClassifier(r.deltas(p, calZeroOff*8, l, k+3), r.deltas(p, calOneOff*8, l, k+3))
+		if !c.ok {
+			continue
+		}
+		if sep := c.separation(); sep > best {
+			best, chainLen, cls = sep, l, c
+		}
+	}
+	return chainLen, cls
+}
+
+// Run executes the PoC: chain-length tuning and calibration against known
+// planted bytes, then bit-by-bit key extraction with majority voting,
+// repeated for the given number of attempts.
+func Run(p PoC, key [KeyBytes]byte, attempts, trialsPerBit int, seed int64) Result {
+	r := newRunner(p, key, seed)
+	res := Result{ID: p.ID}
+
+	// Calibration: the attacker tunes the template against known planted
+	// bytes first.
+	chainLen, _ := r.tune(p, 5)
+	if chainLen == 0 {
+		return res // handler never ran; no channel
+	}
+	cls := newClassifier(
+		r.deltas(p, calZeroOff*8, chainLen, trialsPerBit+4),
+		r.deltas(p, calOneOff*8, chainLen, trialsPerBit+4),
+	)
+	if !cls.ok {
+		return res
+	}
+	res.Delta0 = float64(cls.char0)
+	res.Delta1 = float64(cls.char1)
+	res.Signal = float64(cls.signal())
+
+	bitsCorrect := 0
+	keysCorrect := 0
+	for a := 0; a < attempts; a++ {
+		exact := true
+		for bit := 0; bit < KeyBytes*8; bit++ {
+			votes := [2]int{}
+			informative := 0
+			for t := 0; t < trialsPerBit*4 && informative < trialsPerBit; t++ {
+				v := cls.classify(r.trial(p, bit, chainLen))
+				if v < 0 {
+					continue
+				}
+				votes[v]++
+				informative++
+			}
+			guess := byte(0)
+			if votes[1] > votes[0] {
+				guess = 1
+			}
+			truth := (r.key[bit/8] >> uint(bit%8)) & 1
+			if guess == truth {
+				bitsCorrect++
+			} else {
+				exact = false
+			}
+		}
+		if exact {
+			keysCorrect++
+		}
+	}
+	total := attempts * KeyBytes * 8
+	res.BitAccuracy = float64(bitsCorrect) / float64(total)
+	res.KeyAccuracy = float64(keysCorrect) / float64(attempts)
+	return res
+}

@@ -1,0 +1,139 @@
+package attack
+
+// classifier turns raw timing deltas into bit votes. Contention PoC timing
+// is often multi-modal: misaligned trials (jitter pushed the probe out of
+// the contention window) collapse onto a common baseline regardless of the
+// secret, while aligned trials land on per-bit signature values. Instead of
+// a mean threshold, the classifier compares each measurement against the
+// empirical calibration distributions: it votes for the bit whose
+// calibration set contains the value more often, falls back to
+// nearest-neighbour distance for unseen values, and abstains on ties
+// (baseline values common to both distributions).
+type classifier struct {
+	counts0, counts1 map[int64]int
+	vals0, vals1     []int64
+	// char0/char1 are the most characteristic values of each distribution
+	// (largest count advantage over the other); their separation is the
+	// reported signal.
+	char0, char1 int64
+	ok           bool
+}
+
+// newClassifier builds a classifier from calibration deltas for known 0 and
+// known 1 bits. Negative deltas (no measurement) are ignored.
+func newClassifier(d0s, d1s []int64) classifier {
+	c := classifier{
+		counts0: make(map[int64]int),
+		counts1: make(map[int64]int),
+	}
+	for _, d := range d0s {
+		if d >= 0 {
+			c.counts0[d]++
+			c.vals0 = append(c.vals0, d)
+		}
+	}
+	for _, d := range d1s {
+		if d >= 0 {
+			c.counts1[d]++
+			c.vals1 = append(c.vals1, d)
+		}
+	}
+	if len(c.vals0) == 0 || len(c.vals1) == 0 {
+		return c
+	}
+	c.ok = true
+	best0, best1 := 0, 0
+	for v, n := range c.counts0 {
+		if adv := n - c.counts1[v]; adv > best0 {
+			best0, c.char0 = adv, v
+		}
+	}
+	for v, n := range c.counts1 {
+		if adv := n - c.counts0[v]; adv > best1 {
+			best1, c.char1 = adv, v
+		}
+	}
+	if best0 == 0 || best1 == 0 {
+		// The distributions are indistinguishable.
+		c.char0, c.char1 = 0, 0
+	}
+	return c
+}
+
+// signal is the separation between the characteristic values in cycles —
+// the observable secret-dependent time difference (Table 3's "Time
+// Difference" column analogue).
+func (c classifier) signal() int64 {
+	return abs64(c.char1 - c.char0)
+}
+
+// separation is the total-variation distance between the calibration
+// distributions, scaled by 1000 (0 = indistinguishable, 1000 = disjoint).
+// The chain-length tuner maximizes it.
+func (c classifier) separation() int64 {
+	if !c.ok {
+		return 0
+	}
+	seen := make(map[int64]bool)
+	var tv float64
+	for v := range c.counts0 {
+		seen[v] = true
+	}
+	for v := range c.counts1 {
+		seen[v] = true
+	}
+	for v := range seen {
+		p0 := float64(c.counts0[v]) / float64(len(c.vals0))
+		p1 := float64(c.counts1[v]) / float64(len(c.vals1))
+		d := p0 - p1
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	return int64(tv * 500) // tv in [0,2]
+}
+
+// classify votes on one measurement: 0, 1, or -1 (abstain).
+func (c classifier) classify(d int64) int {
+	if d < 0 || !c.ok {
+		return -1
+	}
+	n0, ok0 := c.counts0[d]
+	n1, ok1 := c.counts1[d]
+	switch {
+	case ok0 && n0 > n1:
+		return 0
+	case ok1 && n1 > n0:
+		return 1
+	case ok0 && ok1:
+		return -1 // baseline value common to both: uninformative
+	}
+	// Unseen value: nearest neighbour across the calibration sets.
+	d0 := nearestDist(c.vals0, d)
+	d1 := nearestDist(c.vals1, d)
+	switch {
+	case d0 < d1:
+		return 0
+	case d1 < d0:
+		return 1
+	}
+	return -1
+}
+
+func nearestDist(vals []int64, d int64) int64 {
+	best := int64(1) << 62
+	for _, v := range vals {
+		if dist := abs64(v - d); dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+package attack
+
+import (
+	"math/rand"
+
+	"sonar/internal/fuzz"
+	"sonar/internal/isa"
+	"sonar/internal/uarch"
+)
+
+// Cross-core attack (paper Table 3, footnote †: "side channels due to
+// contention on TileLink can also be observed in the dual-core scenario",
+// template Figure 4b). A victim core executes secret-dependent loads; an
+// attacker core times its own loads over the shared TileLink D-channel.
+// When the secret bit is 1 the victim's extra cacheline reads occupy the
+// channel and the attacker's refills queue behind them. No fault, no
+// transient execution — pure cross-core contention.
+
+// victimProgram reads the victim's secret dword and issues a burst of
+// loads whose cachelines depend on the extracted bit: bit=0 reuses one
+// line (a single refill, then hits); bit=1 touches distinct cold lines
+// (one D-channel read each).
+func victimProgram(bitOff, jitter int) *isa.Program {
+	code := []isa.Instr{
+		{Op: isa.LUI, Rd: regData, Imm: int64(fuzz.DataBase >> 12)},
+		{Op: isa.LUI, Rd: regPriv, Imm: int64(fuzz.SecretAddr >> 12)},
+	}
+	for j := 0; j < jitter; j++ {
+		code = append(code, isa.NOP())
+	}
+	dword := int64(bitOff/64) * 8
+	sh := int64(bitOff % 64)
+	code = append(code,
+		isa.Load(isa.LD, regSecret, regPriv, dword),
+		isa.I(isa.ADDI, regShift, 0, sh),
+		isa.R(isa.SRL, regSecret, regSecret, regShift),
+		isa.I(isa.ANDI, regSecret, regSecret, 1),
+	)
+	// addr_k = DataBase + bit*(0x4000 + k*8192): bit=0 collapses every
+	// access onto DataBase (one line); bit=1 spreads across cold lines.
+	for k := 0; k < 6; k++ {
+		code = append(code, addrInto(regTmpA, 0, 0x4000+int64(k)*8192)...)
+		// Multiply the offset by the bit without branches: tmp &= -bit.
+		code = append(code,
+			isa.R(isa.SUB, regPrime, 0, regSecret), // -bit (all ones if 1)
+			isa.R(isa.AND, regTmpA, regTmpA, regPrime),
+			isa.R(isa.ADD, regTmpA, regTmpA, regData),
+			isa.Load(isa.LD, regLine5, regTmpA, 0),
+		)
+	}
+	code = append(code, isa.Instr{Op: isa.ECALL})
+	return isa.NewProgram(fuzz.CodeBase, code...)
+}
+
+// attackerProgram times a fixed burst of cold loads through the shared
+// D-channel.
+func attackerProgram(jitter int) *isa.Program {
+	code := []isa.Instr{
+		{Op: isa.LUI, Rd: regData, Imm: int64(fuzz.AttackerDataBase >> 12)},
+	}
+	for j := 0; j < jitter; j++ {
+		code = append(code, isa.NOP())
+	}
+	code = append(code, isa.Instr{Op: isa.RDCYCLE, Rd: regT0})
+	// Pointer-chase: each load's address depends on the previous load's
+	// (zero) result, so the misses serialize and the measurement window
+	// spans the victim's whole burst.
+	code = append(code, isa.I(isa.ADDI, regLine5, 0, 0))
+	for k := 0; k < 8; k++ {
+		code = append(code, addrInto(regTmpA, regData, int64(k)*8192)...)
+		code = append(code,
+			isa.R(isa.ADD, regTmpA, regTmpA, regLine5),
+			isa.Load(isa.LD, regLine5, regTmpA, 0),
+		)
+	}
+	// rdcycle has no operands, so it would issue out of order; a
+	// chase-dependent always-taken branch redirects fetch, forcing the
+	// closing timestamp to execute after the last load resolves.
+	code = append(code,
+		isa.R(isa.XOR, regTmpA, regLine5, regLine5), // 0, chase-dependent
+		isa.Branch(isa.BEQ, regTmpA, 0, 8),          // taken: skip the nop
+		isa.NOP(),
+		isa.Instr{Op: isa.RDCYCLE, Rd: regT1},
+		isa.Instr{Op: isa.ECALL},
+	)
+	return isa.NewProgram(fuzz.AttackerCodeBase, code...)
+}
+
+// crossRunner drives trials on one dual-core SoC.
+type crossRunner struct {
+	soc *uarch.SoC
+	rng *rand.Rand
+	key [KeyBytes]byte
+}
+
+// trial runs victim+attacker and returns the attacker's measured delta.
+func (r *crossRunner) trial(bitOff int) int64 {
+	r.soc.Reset()
+	for i, b := range r.key {
+		r.soc.Mem.StoreByte(fuzz.SecretAddr+uint64(i), b)
+	}
+	r.soc.Mem.StoreByte(fuzz.SecretAddr+calZeroOff, 0x00)
+	r.soc.Mem.StoreByte(fuzz.SecretAddr+calOneOff, 0xff)
+	r.soc.Cores[0].LoadProgram(victimProgram(bitOff, r.rng.Intn(4)))
+	r.soc.Cores[1].LoadProgram(attackerProgram(r.rng.Intn(3)))
+	r.soc.Run()
+	att := r.soc.Cores[1]
+	t0, t1 := att.Reg(regT0), att.Reg(regT1)
+	if t1 <= t0 {
+		return -1
+	}
+	return int64(t1 - t0)
+}
+
+func (r *crossRunner) deltas(bitOff, k int) []int64 {
+	out := make([]int64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, r.trial(bitOff))
+	}
+	return out
+}
+
+// RunCrossCore extracts the victim's key from the attacker core's timing
+// alone. mkSoC must build a two-core system sharing the D-channel.
+func RunCrossCore(mkSoC func() *uarch.SoC, key [KeyBytes]byte, attempts, trialsPerBit int, seed int64) Result {
+	soc := mkSoC()
+	if len(soc.Cores) < 2 {
+		return Result{ID: "XC"}
+	}
+	r := &crossRunner{soc: soc, rng: rand.New(rand.NewSource(seed)), key: key}
+	res := Result{ID: "XC"}
+
+	cls := newClassifier(
+		r.deltas(calZeroOff*8, trialsPerBit+4),
+		r.deltas(calOneOff*8, trialsPerBit+4),
+	)
+	if !cls.ok {
+		return res
+	}
+	res.Delta0 = float64(cls.char0)
+	res.Delta1 = float64(cls.char1)
+	res.Signal = float64(cls.signal())
+
+	bitsCorrect, keysCorrect := 0, 0
+	for a := 0; a < attempts; a++ {
+		exact := true
+		for bit := 0; bit < KeyBytes*8; bit++ {
+			votes := [2]int{}
+			informative := 0
+			for t := 0; t < trialsPerBit*4 && informative < trialsPerBit; t++ {
+				v := cls.classify(r.trial(bit))
+				if v < 0 {
+					continue
+				}
+				votes[v]++
+				informative++
+			}
+			guess := byte(0)
+			if votes[1] > votes[0] {
+				guess = 1
+			}
+			truth := (r.key[bit/8] >> uint(bit%8)) & 1
+			if guess == truth {
+				bitsCorrect++
+			} else {
+				exact = false
+			}
+		}
+		if exact {
+			keysCorrect++
+		}
+	}
+	total := attempts * KeyBytes * 8
+	res.BitAccuracy = float64(bitsCorrect) / float64(total)
+	res.KeyAccuracy = float64(keysCorrect) / float64(attempts)
+	return res
+}

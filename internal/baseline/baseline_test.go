@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"testing"
+
+	"sonar/internal/fuzz"
+	"sonar/internal/uarch"
+)
+
+func TestSpecDoctorCampaignRuns(t *testing.T) {
+	d := fuzz.NewDUT(uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil))
+	st := RunSpecDoctor(d, 10, 1)
+	if len(st.PerIteration) != 10 {
+		t.Fatalf("iterations = %d", len(st.PerIteration))
+	}
+	last := 0
+	for _, it := range st.PerIteration {
+		if it.CumPoints < last {
+			t.Fatal("cumulative coverage decreased")
+		}
+		last = it.CumPoints
+	}
+	if last == 0 {
+		t.Error("SpecDoctor baseline triggered nothing")
+	}
+}
+
+func TestSpecDoctorReproducible(t *testing.T) {
+	a := RunSpecDoctor(fuzz.NewDUT(uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil)), 6, 3)
+	b := RunSpecDoctor(fuzz.NewDUT(uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil)), 6, 3)
+	for i := range a.PerIteration {
+		if a.PerIteration[i] != b.PerIteration[i] {
+			t.Fatalf("iteration %d differs", i)
+		}
+	}
+}
+
+func TestMeasureComplexityShape(t *testing.T) {
+	// The quadratic pass must blow up much faster than the linear one: at
+	// 8x the statements, SpecDoctor-style cost grows ~64x while Sonar's
+	// grows ~8x. Wall-clock measurements are noisy under load, so take the
+	// best of three attempts before failing.
+	for attempt := 0; attempt < 3; attempt++ {
+		pts := MeasureComplexity([]int{500, 4000})
+		if len(pts) != 2 {
+			t.Fatal("missing points")
+		}
+		sonarGrowth := float64(pts[1].SonarNs) / float64(pts[0].SonarNs+1)
+		specGrowth := float64(pts[1].SpecDoctorNs) / float64(pts[0].SpecDoctorNs+1)
+		if specGrowth > sonarGrowth {
+			return
+		}
+		if attempt == 2 {
+			t.Errorf("SpecDoctor growth %.1fx not worse than Sonar %.1fx", specGrowth, sonarGrowth)
+		}
+	}
+}
+
+func TestSpecDoctorPassCountsDependencies(t *testing.T) {
+	net := buildChainModule(10)
+	if got := specDoctorPass(net); got != 0 {
+		// Independent selects share no wires: zero dependencies.
+		t.Errorf("deps = %d, want 0", got)
+	}
+}

@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"sonar/internal/hdl"
+	"sonar/internal/trace"
+)
+
+// ComplexityPoint is one measurement of instrumentation-analysis cost at a
+// given module size.
+type ComplexityPoint struct {
+	// Statements is the number of FIRRTL-level statements (MUXes) in the
+	// module.
+	Statements int
+	// SonarNs is the wall time of Sonar's linear contention-state
+	// identification over the module.
+	SonarNs int64
+	// SpecDoctorNs is the wall time of the SpecDoctor-style quadratic
+	// per-module dependency pass over the same module.
+	SpecDoctorNs int64
+}
+
+// buildChainModule elaborates a module of n MUX statements shaped like real
+// datapath code: a mix of independent selects with valid-carrying requests.
+func buildChainModule(n int) *hdl.Netlist {
+	net := hdl.NewNetlist("M")
+	mod := net.Module("m")
+	for i := 0; i < n; i++ {
+		tag := fmt.Sprintf("_%d", i)
+		sel := mod.Wire("sel"+tag, 1)
+		a := mod.Wire("io_a"+tag+"_bits", 16)
+		mod.Wire("io_a"+tag+"_valid", 1)
+		b := mod.Wire("io_b"+tag+"_bits", 16)
+		mod.Wire("io_b"+tag+"_valid", 1)
+		mod.Mux("out"+tag, sel, a, b)
+	}
+	return net
+}
+
+// specDoctorPass emulates SpecDoctor's per-module instrumentation: for each
+// statement it scans every other statement in the module for dependencies
+// (the O(n²) behaviour the paper reports makes it "impractical for
+// large-scale designs", §8.3.4). It returns a checksum so the work cannot
+// be optimized away.
+func specDoctorPass(net *hdl.Netlist) int {
+	muxes := net.Muxes()
+	deps := 0
+	for _, m := range muxes {
+		for _, other := range muxes {
+			if m == other {
+				continue
+			}
+			if other.Out == m.TVal || other.Out == m.FVal || other.Out == m.Sel ||
+				m.Out == other.TVal || m.Out == other.FVal || m.Out == other.Sel {
+				deps++
+			}
+		}
+	}
+	return deps
+}
+
+// MeasureComplexity measures both instrumentation passes across module
+// sizes. Sonar's bottom-up tracing touches each MUX a bounded number of
+// times (linear); the SpecDoctor-style pass is quadratic.
+func MeasureComplexity(sizes []int) []ComplexityPoint {
+	out := make([]ComplexityPoint, 0, len(sizes))
+	for _, n := range sizes {
+		net := buildChainModule(n)
+		t0 := time.Now()
+		trace.Analyze(net)
+		sonarNs := time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		specDoctorPass(net)
+		specNs := time.Since(t1).Nanoseconds()
+		out = append(out, ComplexityPoint{Statements: n, SonarNs: sonarNs, SpecDoctorNs: specNs})
+	}
+	return out
+}

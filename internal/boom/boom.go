@@ -1,0 +1,93 @@
+// Package boom builds the BOOM-like DUT: the larger of the paper's two
+// out-of-order RISC-V cores (Table 1, first column). Its microarchitecture —
+// TileLink D-channel, 2 MSHRs with pri/sec modes, read/write line buffers,
+// a shared execution-unit response port, a pipelined multiplier plus a
+// non-pipelined divider, and lazy (commit-time) exception handling —
+// contains all twelve BOOM side channels of paper Table 3 (S1-S12).
+//
+// Beyond the behavioural model, the package elaborates the repetitive
+// structural selection logic of a real BOOM-class RTL design (predictor
+// tables, ROB write ports, register file, cache metadata arrays, ...) so
+// that contention-point identification and filtering (paper Figures 6 and
+// 7) operate at a realistic scale and distribution.
+package boom
+
+import "sonar/internal/uarch"
+
+// Arrays returns the structural array layout of the BOOM-like netlist. The
+// points concentrate in the frontend, ROB, LSU, and bus, matching the
+// distribution the paper reports in Figure 7a.
+func Arrays() []uarch.ArraySpec {
+	return []uarch.ArraySpec{
+		// Frontend: fetch buffer (24 entries, fetch width 8), branch
+		// predictors (uBTB + BTB + TAGE per Table 1), fetch target queue,
+		// and ICache metadata/data arrays.
+		{Component: "frontend", Name: "fetchbuf", Entries: 24, Fanin: 8, Width: 40, Role: uarch.RoleFetchBuf},
+		{Component: "frontend", Name: "btb", Entries: 1024, Fanin: 3, Width: 40, Role: uarch.RoleBTB},
+		{Component: "frontend", Name: "ubtb", Entries: 16, Fanin: 2, Width: 40},
+		{Component: "frontend", Name: "tage", Entries: 2048, Fanin: 4, Width: 12},
+		{Component: "frontend", Name: "ftq", Entries: 40, Fanin: 4, Width: 40},
+		{Component: "frontend", Name: "icache_meta", Entries: 256, Fanin: 5, Width: 32},
+		{Component: "frontend", Name: "icache_data", Entries: 256, Fanin: 3, Width: 64},
+		{Component: "frontend", Name: "ras", Entries: 32, Fanin: 2, Width: 40},
+		// ROB: 96 entries written by an 8-wide dispatch, writeback and flag
+		// update ports.
+		{Component: "rob", Name: "entries", Entries: 96, Fanin: 8, Width: 40, Role: uarch.RoleROB},
+		{Component: "rob", Name: "wb", Entries: 96, Fanin: 5, Width: 8},
+		{Component: "rob", Name: "flags", Entries: 96, Fanin: 3, Width: 4},
+		// Execution complex: issue queue slots, 100/96 int/fp physical
+		// registers, bypass network, scheduler entries.
+		{Component: "exe", Name: "issueq", Entries: 40, Fanin: 8, Width: 32, Role: uarch.RoleIssueQ},
+		{Component: "exe", Name: "regfile", Entries: 196, Fanin: 4, Width: 64, Role: uarch.RoleRegFile},
+		{Component: "exe", Name: "bypass", Entries: 30, Fanin: 6, Width: 64},
+		{Component: "exe", Name: "sched", Entries: 60, Fanin: 4, Width: 16},
+		// LSU: 24/24 load/store queues, DCache metadata/data arrays, MSHR
+		// metadata, store-to-load forwarding match ports.
+		{Component: "lsu", Name: "ldq", Entries: 24, Fanin: 6, Width: 48},
+		{Component: "lsu", Name: "stq", Entries: 24, Fanin: 6, Width: 48},
+		{Component: "lsu", Name: "dcache_meta", Entries: 1024, Fanin: 5, Width: 32},
+		{Component: "lsu", Name: "dcache_data", Entries: 512, Fanin: 3, Width: 64},
+		{Component: "lsu", Name: "mshr_meta", Entries: 16, Fanin: 4, Width: 48},
+		{Component: "lsu", Name: "fwd", Entries: 24, Fanin: 4, Width: 48},
+		// TileLink / peripheral bus: crossbar ports, L2 metadata, sinks.
+		{Component: "tilelink", Name: "xbar", Entries: 128, Fanin: 6, Width: 64},
+		{Component: "tilelink", Name: "l2_meta", Entries: 1024, Fanin: 5, Width: 32},
+		{Component: "tilelink", Name: "sinks", Entries: 64, Fanin: 4, Width: 64},
+	}
+}
+
+// Filters returns the per-component volume of risk-filterable points:
+// constant-request configuration MUXes and no-valid routing MUXes, the two
+// classes the §5.2 filter drops (~26% of BOOM's traced points in Figure 7a).
+func Filters() []uarch.FilterSpec {
+	return []uarch.FilterSpec{
+		{Component: "frontend", Const: 300, NoValid: 500, Fanin: 4},
+		{Component: "lsu", Const: 200, NoValid: 400, Fanin: 4},
+		{Component: "exe", Const: 150, NoValid: 200, Fanin: 4},
+		{Component: "rob", Const: 80, NoValid: 100, Fanin: 4},
+		{Component: "tilelink", Const: 70, NoValid: 300, Fanin: 4},
+	}
+}
+
+// New builds a single-core BOOM-like SoC with the full structural netlist.
+func New() *uarch.SoC {
+	return uarch.NewSoC(uarch.BoomConfig(), 1, Arrays(), Filters())
+}
+
+// NewDual builds a dual-core BOOM-like SoC sharing the L2 and TileLink
+// D-channel, for the dual-core testcase template (paper Figure 4b).
+func NewDual() *uarch.SoC {
+	return uarch.NewSoC(uarch.BoomConfig(), 2, Arrays(), Filters())
+}
+
+// NewLite builds a single-core BOOM-like SoC without the bulk structural
+// arrays: same timing behaviour, far smaller netlist. Tests and attack PoCs
+// that only need the behavioural side channels use it.
+func NewLite() *uarch.SoC {
+	return uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil)
+}
+
+// NewDualLite is NewDual without the bulk structural arrays.
+func NewDualLite() *uarch.SoC {
+	return uarch.NewSoC(uarch.BoomConfig(), 2, nil, nil)
+}

@@ -1,0 +1,76 @@
+package boom
+
+import (
+	"strings"
+	"testing"
+
+	"sonar/internal/trace"
+)
+
+func TestNetlistScaleMatchesPaper(t *testing.T) {
+	s := New()
+	a := trace.Analyze(s.Net)
+	// Paper Figure 6: 31,484 naive MUXes -> 8,975 traced points on BOOM.
+	if a.NaiveMuxCount < 25_000 || a.NaiveMuxCount > 50_000 {
+		t.Errorf("naive MUX count = %d, want paper-scale (~31k)", a.NaiveMuxCount)
+	}
+	if got := len(a.Points); got < 7_000 || got > 13_000 {
+		t.Errorf("traced points = %d, want ~9k", got)
+	}
+	red := 1 - float64(len(a.Points))/float64(a.NaiveMuxCount)
+	if red < 0.6 || red > 0.85 {
+		t.Errorf("tracing reduction = %.1f%%, paper reports 71.5%%", 100*red)
+	}
+}
+
+func TestComponentsPresent(t *testing.T) {
+	s := New()
+	a := trace.Analyze(s.Net)
+	dist := a.ByComponent()
+	for _, comp := range []string{"frontend", "rob", "exe", "lsu", "tilelink"} {
+		if dist[comp][0] == 0 {
+			t.Errorf("component %s has no contention points", comp)
+		}
+	}
+	// The channel-bearing arbitration points must exist by name.
+	for _, sig := range []string{
+		"tilelink.d_channel_data",       // S1-S4
+		"lsu.dcache.mshr_req",           // S5
+		"lsu.dcache.rlb.io_refill_data", // S6
+		"lsu.dcache.wlb.io_evict_data",  // S7
+		"exe.wb.resp_data",              // S8
+		"exe.div.req_in",                // S9
+	} {
+		if _, ok := s.Net.Signal(sig); !ok {
+			t.Errorf("channel-bearing signal %s missing", sig)
+		}
+	}
+}
+
+func TestDualSharesOneBus(t *testing.T) {
+	s := NewDual()
+	if len(s.Cores) != 2 {
+		t.Fatalf("cores = %d", len(s.Cores))
+	}
+	// Both cores' request ports hang off the single tilelink module.
+	found := 0
+	for _, sig := range s.Net.Signals() {
+		if strings.HasPrefix(sig.Name(), "tilelink.io_req_") && strings.HasSuffix(sig.Name(), "_valid") {
+			found++
+		}
+	}
+	if found != 6 { // 3 sources per core
+		t.Errorf("bus request ports = %d, want 6", found)
+	}
+}
+
+func TestLiteIsBehaviourallyEquivalentButSmaller(t *testing.T) {
+	full := New()
+	lite := NewLite()
+	if lite.Net.NumMuxes() >= full.Net.NumMuxes()/10 {
+		t.Errorf("lite netlist not small: %d vs %d muxes", lite.Net.NumMuxes(), full.Net.NumMuxes())
+	}
+	if full.Cores[0].Cfg != lite.Cores[0].Cfg {
+		t.Error("lite core configuration differs from full")
+	}
+}

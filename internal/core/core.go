@@ -1,0 +1,111 @@
+// Package core is Sonar's end-to-end pipeline: contention-point
+// identification and filtering, instrumentation, state-guided fuzzing,
+// dual-differential side-channel detection, and exploitability analysis —
+// the composition of the paper's three components (Figure 2) over a DUT.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sonar/internal/attack"
+	"sonar/internal/fuzz"
+	"sonar/internal/trace"
+	"sonar/internal/uarch"
+)
+
+// Sonar drives the full framework against one DUT.
+type Sonar struct {
+	// DUT is the analyzed, instrumented device under test.
+	DUT *fuzz.DUT
+}
+
+// New analyzes and instruments a SoC, returning a ready-to-fuzz pipeline.
+func New(soc *uarch.SoC) *Sonar {
+	return &Sonar{DUT: fuzz.NewDUT(soc)}
+}
+
+// IdentificationReport summarizes §5's static analysis results: contention
+// point counts before/after bottom-up tracing and risk filtering, and their
+// distribution over components (Figures 6 and 7).
+type IdentificationReport struct {
+	// Design is the DUT name.
+	Design string
+	// NaiveMuxes is what counting every 2:1 MUX would report.
+	NaiveMuxes int
+	// TracedPoints is the number of contention points after bottom-up
+	// cascade tracing.
+	TracedPoints int
+	// MonitoredPoints is the number surviving the §5.2 risk filter.
+	MonitoredPoints int
+	// ByComponent maps component -> [traced, monitored].
+	ByComponent map[string][2]int
+}
+
+// TracingReduction is the fraction of naive MUX count eliminated by
+// bottom-up tracing (the paper reports 71.5% for BOOM, 80.4% for NutShell).
+func (r *IdentificationReport) TracingReduction() float64 {
+	if r.NaiveMuxes == 0 {
+		return 0
+	}
+	return 1 - float64(r.TracedPoints)/float64(r.NaiveMuxes)
+}
+
+// FilterReduction is the fraction of traced points dropped by the risk
+// filter (26.2% for BOOM, 35.7% for NutShell in the paper).
+func (r *IdentificationReport) FilterReduction() float64 {
+	if r.TracedPoints == 0 {
+		return 0
+	}
+	return 1 - float64(r.MonitoredPoints)/float64(r.TracedPoints)
+}
+
+// String renders the report.
+func (r *IdentificationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d 2:1 MUXes -> %d contention points (%.1f%% reduction) -> %d monitored (%.1f%% filtered)\n",
+		r.Design, r.NaiveMuxes, r.TracedPoints, 100*r.TracingReduction(), r.MonitoredPoints, 100*r.FilterReduction())
+	comps := make([]string, 0, len(r.ByComponent))
+	for c := range r.ByComponent {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		n := r.ByComponent[c]
+		fmt.Fprintf(&b, "  %-12s %5d traced, %5d monitored\n", c, n[0], n[1])
+	}
+	return b.String()
+}
+
+// Identify runs the static analysis report for the DUT.
+func (s *Sonar) Identify() *IdentificationReport {
+	a := s.DUT.Analysis
+	return &IdentificationReport{
+		Design:          a.Netlist.Name(),
+		NaiveMuxes:      a.NaiveMuxCount,
+		TracedPoints:    len(a.Points),
+		MonitoredPoints: len(a.Monitored()),
+		ByComponent:     a.ByComponent(),
+	}
+}
+
+// Fuzz runs a state-guided fuzzing campaign (§6) with dual-differential
+// detection (§7).
+func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
+	return fuzz.Run(s.DUT, opt)
+}
+
+// Point returns the contention point with the given ID.
+func (s *Sonar) Point(id int) *trace.Point {
+	return s.DUT.Analysis.Points[id]
+}
+
+// Exploit evaluates Meltdown-style PoCs (§7.3/§8.5) against a fresh key.
+func Exploit(pocs []attack.PoC, key [attack.KeyBytes]byte, attempts, trialsPerBit int, seed int64) []attack.Result {
+	out := make([]attack.Result, 0, len(pocs))
+	for _, p := range pocs {
+		out = append(out, attack.Run(p, key, attempts, trialsPerBit, seed))
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sonar/internal/fuzz"
+	"sonar/internal/uarch"
+)
+
+func TestIdentifyReport(t *testing.T) {
+	s := New(uarch.NewSoC(uarch.BoomConfig(), 1, []uarch.ArraySpec{
+		{Component: "rob", Name: "entries", Entries: 4, Fanin: 2, Width: 8, Role: uarch.RoleROB},
+	}, []uarch.FilterSpec{
+		{Component: "rob", Const: 3, NoValid: 2, Fanin: 2},
+	}))
+	r := s.Identify()
+	if r.TracedPoints == 0 || r.MonitoredPoints == 0 {
+		t.Fatalf("report empty: %+v", r)
+	}
+	if r.MonitoredPoints >= r.TracedPoints {
+		t.Errorf("filter removed nothing: %d of %d", r.MonitoredPoints, r.TracedPoints)
+	}
+	if r.TracedPoints >= r.NaiveMuxes {
+		t.Errorf("tracing reduced nothing: %d of %d", r.TracedPoints, r.NaiveMuxes)
+	}
+	if r.TracingReduction() <= 0 || r.FilterReduction() <= 0 {
+		t.Error("reductions must be positive")
+	}
+	text := r.String()
+	if !strings.Contains(text, "monitored") || !strings.Contains(text, "rob") {
+		t.Errorf("report text incomplete:\n%s", text)
+	}
+}
+
+func TestFuzzThroughFacade(t *testing.T) {
+	s := New(uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil))
+	st := s.Fuzz(fuzz.SonarOptions(5))
+	if len(st.PerIteration) != 5 {
+		t.Fatalf("iterations = %d", len(st.PerIteration))
+	}
+	if p := s.Point(0); p == nil {
+		t.Error("Point(0) nil")
+	}
+}

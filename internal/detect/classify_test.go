@@ -1,0 +1,90 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+)
+
+func finding(delta int64, diffs ...StateDiff) *Finding {
+	return &Finding{
+		Affected:   []Affected{{Idx: 1, CCDA: 0, CCDB: delta}},
+		StateDiffs: diffs,
+	}
+}
+
+func TestClassifyFamilies(t *testing.T) {
+	fs := []*Finding{
+		finding(40,
+			StateDiff{PointID: 1, Name: "tilelink.d_channel_data", Volatile: true},
+			StateDiff{PointID: 2, Name: "lsu.dcache.mshr_req", Volatile: true},
+		),
+		finding(9,
+			StateDiff{PointID: 3, Name: "lsu.dcache.rlb.io_refill_data", Persistent: true},
+			StateDiff{PointID: 1, Name: "tilelink.d_channel_data", Volatile: true},
+		),
+	}
+	cs := Classify(fs)
+	got := map[string]ChannelClass{}
+	for _, c := range cs {
+		got[c.Family] = c
+	}
+	tl, ok := got["TileLink D-Channel"]
+	if !ok {
+		t.Fatal("TileLink family missing")
+	}
+	if tl.Points != 1 {
+		t.Errorf("TileLink points = %d, want 1 (deduplicated)", tl.Points)
+	}
+	if tl.MaxDelta != 40 {
+		t.Errorf("TileLink max delta = %d, want 40", tl.MaxDelta)
+	}
+	if tl.Paper != "S1-S4" || tl.Kind != "volatile" {
+		t.Errorf("TileLink metadata = %+v", tl)
+	}
+	if got["MSHR"].Points != 1 {
+		t.Error("MSHR family missing")
+	}
+	rlb, ok := got["Read LineBuffer"]
+	if !ok || rlb.Kind != "persistent" {
+		t.Errorf("Read LineBuffer = %+v", rlb)
+	}
+}
+
+func TestClassifyRulePrecedence(t *testing.T) {
+	// "lsu.dcache.mshr_req" must classify as MSHR, not generic DCache.
+	if i := classify("lsu.dcache.mshr_req"); rules[i].family != "MSHR" {
+		t.Errorf("classified as %s", rules[i].family)
+	}
+	// Generic dcache points fall to the DCache family.
+	if i := classify("lsu.dcache.bank3.rdata"); rules[i].family != "DCache" {
+		t.Errorf("classified as %s", rules[i].family)
+	}
+	if i := classify("exe.wb.resp_data"); rules[i].family != "EXE writeback port" {
+		t.Errorf("classified as %s", rules[i].family)
+	}
+	if classify("unrelated.signal") != -1 {
+		t.Error("unknown names must not classify")
+	}
+}
+
+func TestClassifyMixedKind(t *testing.T) {
+	fs := []*Finding{
+		finding(5, StateDiff{PointID: 9, Name: "exe.div.req_in", Volatile: true}),
+		finding(7, StateDiff{PointID: 9, Name: "exe.div.req_in", Persistent: true}),
+	}
+	cs := Classify(fs)
+	if len(cs) != 1 || cs[0].Kind != "mixed" {
+		t.Errorf("classes = %+v, want one mixed div family", cs)
+	}
+}
+
+func TestRenderClasses(t *testing.T) {
+	if s := RenderClasses(nil); !strings.Contains(s, "no channel families") {
+		t.Error("empty render wrong")
+	}
+	cs := Classify([]*Finding{finding(3, StateDiff{PointID: 1, Name: "tilelink.io_req_icache_rd_valid", Volatile: true})})
+	s := RenderClasses(cs)
+	if !strings.Contains(s, "TileLink") || !strings.Contains(s, "S1-S4") {
+		t.Errorf("render incomplete:\n%s", s)
+	}
+}

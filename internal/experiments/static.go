@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8). Each generator returns a data structure with a String()
+// rendering; cmd/sonar-bench prints them and the repository benchmarks time
+// them. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sonar/internal/boom"
+	"sonar/internal/core"
+	"sonar/internal/nutshell"
+	"sonar/internal/uarch"
+)
+
+// Table1 reproduces the DUT configuration table.
+type Table1Result struct {
+	Boom, Nutshell uarch.Config
+}
+
+// Table1 returns the key parameters of both DUTs.
+func Table1() *Table1Result {
+	return &Table1Result{Boom: uarch.BoomConfig(), Nutshell: uarch.NutshellConfig()}
+}
+
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Key parameters of BOOM and NutShell\n")
+	row := func(name string, bv, nv interface{}) {
+		fmt.Fprintf(&b, "  %-22s %-14v %v\n", name, bv, nv)
+	}
+	row("Feature", "BOOM", "NutShell")
+	row("Fetch Width", r.Boom.FetchWidth, r.Nutshell.FetchWidth)
+	row("Fetch Buffer", r.Boom.FetchBufEntries, r.Nutshell.FetchBufEntries)
+	row("ROB Entry", r.Boom.ROBEntries, r.Nutshell.ROBEntries)
+	row("Ld/St Queue", fmt.Sprintf("%d/%d", r.Boom.LDQEntries, r.Boom.STQEntries),
+		fmt.Sprintf("%d/%d", r.Nutshell.LDQEntries, r.Nutshell.STQEntries))
+	row("Int ALUs", r.Boom.NumALUs, r.Nutshell.NumALUs)
+	row("Mul structure", mulDesc(r.Boom), mulDesc(r.Nutshell))
+	row("L1 I/DCache sets", fmt.Sprintf("%d/%d", r.Boom.ICacheSets, r.Boom.DCacheSets),
+		fmt.Sprintf("%d/%d", r.Nutshell.ICacheSets, r.Nutshell.DCacheSets))
+	row("L1 MSHR", r.Boom.NumMSHRs, r.Nutshell.NumMSHRs)
+	row("Line buffers", r.Boom.LineBuffers, r.Nutshell.LineBuffers)
+	row("ICache single port", r.Boom.ICacheSinglePort, r.Nutshell.ICacheSinglePort)
+	row("Early exception det.", r.Boom.EarlyExceptionDetect, r.Nutshell.EarlyExceptionDetect)
+	return b.String()
+}
+
+func mulDesc(c uarch.Config) string {
+	if c.PipelinedMul {
+		return "pipelined IMUL"
+	}
+	return "shared MDU"
+}
+
+// Figure6Result is one DUT's contention-point identification comparison.
+type Figure6Result struct {
+	DUT          string
+	NaiveMuxes   int
+	TracedPoints int
+}
+
+// Reduction is the fraction eliminated by bottom-up tracing (paper: 71.5%
+// on BOOM, 80.4% on NutShell).
+func (r Figure6Result) Reduction() float64 {
+	return 1 - float64(r.TracedPoints)/float64(r.NaiveMuxes)
+}
+
+// Figure6 identifies contention points on both DUTs with the naive 2:1-MUX
+// strategy vs MUX-based bottom-up tracing.
+func Figure6() []Figure6Result {
+	var out []Figure6Result
+	for _, mk := range []func() *core.Sonar{
+		func() *core.Sonar { return core.New(boom.New()) },
+		func() *core.Sonar { return core.New(nutshell.New()) },
+	} {
+		rep := mk().Identify()
+		out = append(out, Figure6Result{
+			DUT:          rep.Design,
+			NaiveMuxes:   rep.NaiveMuxes,
+			TracedPoints: rep.TracedPoints,
+		})
+	}
+	return out
+}
+
+// RenderFigure6 formats the comparison.
+func RenderFigure6(rs []Figure6Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: identified contention points, 2:1-MUX counting vs bottom-up tracing\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-10s %6d -> %5d  (%.1f%% reduction)\n",
+			r.DUT, r.NaiveMuxes, r.TracedPoints, 100*r.Reduction())
+	}
+	return b.String()
+}
+
+// Figure7Result is one DUT's distribution and filtering outcome.
+type Figure7Result struct {
+	DUT         string
+	Traced      int
+	Monitored   int
+	ByComponent map[string][2]int
+}
+
+// FilterReduction is the fraction dropped by the §5.2 risk filter
+// (paper: 26.2% on BOOM, 35.7% on NutShell).
+func (r Figure7Result) FilterReduction() float64 {
+	return 1 - float64(r.Monitored)/float64(r.Traced)
+}
+
+// Figure7 computes the contention-point distribution before/after risk
+// filtering on both DUTs.
+func Figure7() []Figure7Result {
+	var out []Figure7Result
+	for _, mk := range []func() *core.Sonar{
+		func() *core.Sonar { return core.New(boom.New()) },
+		func() *core.Sonar { return core.New(nutshell.New()) },
+	} {
+		rep := mk().Identify()
+		out = append(out, Figure7Result{
+			DUT:         rep.Design,
+			Traced:      rep.TracedPoints,
+			Monitored:   rep.MonitoredPoints,
+			ByComponent: rep.ByComponent,
+		})
+	}
+	return out
+}
+
+// RenderFigure7 formats the distributions.
+func RenderFigure7(rs []Figure7Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: contention point distribution, before vs after risk filtering\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-10s %5d traced -> %5d monitored (%.1f%% filtered)\n",
+			r.DUT, r.Traced, r.Monitored, 100*r.FilterReduction())
+		comps := make([]string, 0, len(r.ByComponent))
+		for c := range r.ByComponent {
+			comps = append(comps, c)
+		}
+		sort.Strings(comps)
+		for _, c := range comps {
+			n := r.ByComponent[c]
+			fmt.Fprintf(&b, "    %-12s %5d -> %5d\n", c, n[0], n[1])
+		}
+	}
+	return b.String()
+}

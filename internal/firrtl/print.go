@@ -1,0 +1,119 @@
+package firrtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sonar/internal/hdl"
+)
+
+// Print renders a netlist in the FIRRTL-style text form accepted by Parse.
+//
+// Hierarchical module paths are flattened into module names by replacing
+// "." with "_" (the subset has no instance statements). Signals whose local
+// names collide after flattening keep their full dotted name mangled the
+// same way, so Print(Parse(x)) round-trips for single-level designs.
+func Print(n *hdl.Netlist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s :\n", n.Name())
+
+	type modInfo struct {
+		path    string
+		signals []*hdl.Signal
+		muxes   []*hdl.Mux
+		prims   []*hdl.Prim
+	}
+	mods := make(map[string]*modInfo)
+	var order []string
+	getMod := func(path string) *modInfo {
+		if m, ok := mods[path]; ok {
+			return m
+		}
+		m := &modInfo{path: path}
+		mods[path] = m
+		order = append(order, path)
+		return m
+	}
+	for _, s := range n.Signals() {
+		getMod(s.ModulePath()).signals = append(getMod(s.ModulePath()).signals, s)
+	}
+	for _, m := range n.Muxes() {
+		getMod(m.ModulePath()).muxes = append(getMod(m.ModulePath()).muxes, m)
+	}
+	for _, p := range n.Prims() {
+		mi := getMod(p.Out.ModulePath())
+		mi.prims = append(mi.prims, p)
+	}
+	sort.Strings(order)
+
+	for _, path := range order {
+		mi := mods[path]
+		name := flatten(path)
+		if name == "" {
+			name = n.Name()
+		}
+		fmt.Fprintf(&b, "  module %s :\n", name)
+		muxOuts := make(map[*hdl.Signal]bool)
+		for _, mx := range mi.muxes {
+			muxOuts[mx.Out] = true
+		}
+		primOutSet := make(map[*hdl.Signal]bool)
+		for _, pr := range mi.prims {
+			primOutSet[pr.Out] = true
+		}
+		for _, s := range mi.signals {
+			if primOutSet[s] && s.Kind() == hdl.Wire {
+				continue // declared by its node statement below
+			}
+			switch s.Kind() {
+			case hdl.Const:
+				continue // constants are printed inline at use sites
+			case hdl.Input:
+				fmt.Fprintf(&b, "    input %s : UInt<%d>\n", s.Local(), s.Width())
+			case hdl.Output:
+				fmt.Fprintf(&b, "    output %s : UInt<%d>\n", s.Local(), s.Width())
+			case hdl.Reg:
+				fmt.Fprintf(&b, "    reg %s : UInt<%d>\n", s.Local(), s.Width())
+			default:
+				fmt.Fprintf(&b, "    wire %s : UInt<%d>\n", s.Local(), s.Width())
+			}
+		}
+		for _, pr := range mi.prims {
+			args := make([]string, 0, len(pr.Args)+len(pr.IntParams))
+			for _, a := range pr.Args {
+				args = append(args, ref(a))
+			}
+			for _, ip := range pr.IntParams {
+				args = append(args, fmt.Sprint(ip))
+			}
+			fmt.Fprintf(&b, "    node %s = %s(%s)\n", pr.Out.Local(), pr.Op, strings.Join(args, ", "))
+		}
+		for _, mx := range mi.muxes {
+			fmt.Fprintf(&b, "    %s <= mux(%s, %s, %s)\n",
+				ref(mx.Out), ref(mx.Sel), ref(mx.TVal), ref(mx.FVal))
+		}
+		// Emit plain source connections for non-mux/prim-driven signals so
+		// the fan-in used by validity tracing survives a round trip.
+		for _, s := range mi.signals {
+			if muxOuts[s] || primOutSet[s] || s.Kind() == hdl.Const {
+				continue
+			}
+			for _, src := range s.Sources() {
+				fmt.Fprintf(&b, "    %s <= %s\n", ref(s), ref(src))
+			}
+		}
+	}
+	return b.String()
+}
+
+func ref(s *hdl.Signal) string {
+	if s.IsConst() {
+		return fmt.Sprintf("UInt<%d>(%d)", s.Width(), s.Value())
+	}
+	return s.Local()
+}
+
+func flatten(path string) string {
+	return strings.ReplaceAll(path, ".", "_")
+}

@@ -1,0 +1,232 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"sonar/internal/detect"
+	"sonar/internal/monitor"
+)
+
+// Options configures a fuzzing campaign. The three strategy switches map to
+// the paper's breakdown experiment (Figure 10): retention ⊂ selection ⊂
+// directed mutation; with all three off the campaign degenerates to the
+// random-testing baseline of Figure 8.
+type Options struct {
+	// Iterations is the number of testcases to execute.
+	Iterations int
+	// Seed seeds the campaign's RNG; equal seeds give equal campaigns.
+	Seed int64
+	// Retention keeps interval-reducing testcases in the corpus (§6.2.1 ①).
+	Retention bool
+	// Selection prioritizes seeds closest to triggering (§6.2.1 ②);
+	// implies Retention.
+	Selection bool
+	// DirectedMutation applies the adaptive interval-guided chain mutation
+	// (§6.2.1 ③); implies Selection.
+	DirectedMutation bool
+	// DualCore also generates attacker programs for the second core
+	// (template Figure 4b). Requires a two-core DUT.
+	DualCore bool
+	// SecretA and SecretB are the two secret values each testcase runs
+	// under.
+	SecretA, SecretB uint64
+	// KeepFindings caps the retained finding list (0 = keep all).
+	KeepFindings int
+	// RandomDirection disables the adaptive direction memory of the
+	// directed mutation: each retained seed gets a random direction
+	// instead of inheriting/flipping based on the previous mutation's
+	// effect — the ablation of §6.2.1's "adaptive directed mutation".
+	RandomDirection bool
+}
+
+// SonarOptions returns the full Sonar strategy set.
+func SonarOptions(iterations int) Options {
+	return Options{
+		Iterations: iterations, Seed: 1,
+		Retention: true, Selection: true, DirectedMutation: true,
+		SecretA: 0, SecretB: 1,
+	}
+}
+
+// RandomOptions returns the unguided random-testing baseline ("Sonar
+// without any guidance", Figure 8).
+func RandomOptions(iterations int) Options {
+	return Options{Iterations: iterations, Seed: 1, SecretA: 0, SecretB: 1}
+}
+
+// IterStats is the cumulative progress after one iteration, the series
+// plotted in Figures 8, 10 and 11.
+type IterStats struct {
+	// Iteration is 1-based.
+	Iteration int
+	// NewPoints is the number of contention points newly triggered by this
+	// testcase.
+	NewPoints int
+	// CumPoints is the cumulative number of distinct triggered points.
+	CumPoints int
+	// CumTimingDiffs is the cumulative number of testcases exposing a
+	// secret-dependent timing difference.
+	CumTimingDiffs int
+}
+
+// Stats is the result of a campaign.
+type Stats struct {
+	PerIteration []IterStats
+	// Findings are the detected side channels (dual-differential verified).
+	Findings []*detect.Finding
+	// FindingSeeds are the testcases that exposed each retained finding
+	// (parallel to Findings); export them with Testcase.Marshal.
+	FindingSeeds []*Testcase
+	// TriggeredPoints is the final set of triggered contention point IDs.
+	TriggeredPoints map[int]bool
+	// SingleValidTriggered counts points triggered within the first 20
+	// testcases whose requests are dominated by a single valid signal
+	// (paper Figure 9); EarlyTriggered is the total in that window.
+	SingleValidTriggered int
+	EarlyTriggered       int
+	// EarlyBreakdown records, for each of the first 20 testcases, how many
+	// newly triggered points were single-valid dominated vs not (the bars
+	// of paper Figure 9).
+	EarlyBreakdown [][2]int
+	// CorpusSize is the final seed corpus size.
+	CorpusSize int
+	// ExecutedCycles is the total simulated cycle count.
+	ExecutedCycles int64
+}
+
+// Run executes a fuzzing campaign on the DUT.
+func Run(d *DUT, opt Options) *Stats {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	corpus := NewCorpus()
+	st := &Stats{TriggeredPoints: make(map[int]bool)}
+	retention := opt.Retention || opt.Selection || opt.DirectedMutation
+	selection := opt.Selection || opt.DirectedMutation
+
+	for it := 1; it <= opt.Iterations; it++ {
+		var tc *Testcase
+		var parent *Seed
+		target := -1
+		if retention && corpus.Len() > 0 && rng.Float64() < 0.7 {
+			parent, target = corpus.Select(rng, selection)
+			if opt.DirectedMutation {
+				tc = MutateDirected(parent, rng)
+			} else {
+				tc = MutateRandom(parent, rng)
+			}
+		} else {
+			tc = Generate(rng, opt.DualCore)
+		}
+
+		exA := d.Execute(tc, opt.SecretA)
+		exB := d.Execute(tc, opt.SecretB)
+		st.ExecutedCycles += exA.Cycles + exB.Cycles
+
+		// Contention coverage: union of points triggered in either run.
+		newPts := 0
+		var early [2]int
+		for _, ex := range []*Execution{exA, exB} {
+			for _, id := range ex.Snap.Triggered() {
+				if !st.TriggeredPoints[id] {
+					st.TriggeredPoints[id] = true
+					newPts++
+					if it <= 20 {
+						st.EarlyTriggered++
+						if singleValidDominated(d, id) {
+							st.SingleValidTriggered++
+							early[0]++
+						} else {
+							early[1]++
+						}
+					}
+				}
+			}
+		}
+		if it <= 20 {
+			st.EarlyBreakdown = append(st.EarlyBreakdown, early)
+		}
+
+		// Dual-differential side-channel detection.
+		finding := detect.Analyze(exA.Log, exB.Log, exA.Snap, exB.Snap)
+		if finding == nil && opt.DualCore {
+			finding = detect.Analyze(exA.AttackerLog, exB.AttackerLog, exA.Snap, exB.Snap)
+		}
+		cum := 0
+		if len(st.PerIteration) > 0 {
+			cum = st.PerIteration[len(st.PerIteration)-1].CumTimingDiffs
+		}
+		if finding != nil {
+			cum++
+			if opt.KeepFindings == 0 || len(st.Findings) < opt.KeepFindings {
+				st.Findings = append(st.Findings, finding)
+				st.FindingSeeds = append(st.FindingSeeds, tc)
+			}
+		}
+		st.PerIteration = append(st.PerIteration, IterStats{
+			Iteration:      it,
+			NewPoints:      newPts,
+			CumPoints:      len(st.TriggeredPoints),
+			CumTimingDiffs: cum,
+		})
+
+		// Feedback: retention + adaptive direction update.
+		if retention {
+			intvls := mergeIntervals(exA.Snap, exB.Snap)
+			dir := +1
+			switch {
+			case opt.RandomDirection:
+				dir = 1 - 2*rng.Intn(2) // ablation: no direction memory
+			case parent != nil:
+				dir = parent.Dir
+				if target >= 0 {
+					oldV, okOld := parent.Intvls[target]
+					newV, okNew := intvls[target]
+					switch {
+					case okNew && okOld && newV < oldV:
+						// Improvement: keep direction.
+					case okNew && !okOld:
+						// First observation counts as progress.
+					default:
+						dir = -dir // no improvement: flip (adaptive, §6.2.1)
+					}
+				}
+			}
+			corpus.Offer(tc, intvls, dir, target)
+		}
+	}
+	st.CorpusSize = corpus.Len()
+	return st
+}
+
+// mergeIntervals takes the per-point minimum across the two secret runs.
+// Only the distinct-request interval (the volatile-contention approach
+// metric, §6.2.1) feeds the corpus; same-path progress is driven by the
+// data-similarity mutation instead (§6.2.2), which proved more effective
+// than steering selection by same-path intervals.
+func mergeIntervals(a, b *monitor.Snapshot) map[int]int64 {
+	m := a.MinIntervals()
+	for id, v := range b.MinIntervals() {
+		if old, ok := m[id]; !ok || v < old {
+			m[id] = v
+		}
+	}
+	return m
+}
+
+// singleValidDominated reports whether a point's triggering is dominated by
+// a single valid signal (paper Figure 9): either at most one request
+// carries validity, or some request has no validity indication at all — a
+// constantly-valid peer, so any single valid assertion triggers the point
+// (§8.3.2 observation ①).
+func singleValidDominated(d *DUT, pointID int) bool {
+	p := d.Analysis.Points[pointID]
+	withValid := 0
+	constPeer := false
+	for i := range p.Requests {
+		if p.Requests[i].HasValid() {
+			withValid++
+		} else if !p.Requests[i].Data.IsConst() {
+			constPeer = true
+		}
+	}
+	return withValid <= 1 || constPeer
+}

@@ -1,0 +1,138 @@
+package fuzz
+
+import (
+	"math/rand"
+	"sort"
+
+	"sonar/internal/monitor"
+)
+
+// Seed is a retained testcase with the feedback that earned its place.
+type Seed struct {
+	TC *Testcase
+	// Intvls is the per-point minimum distinct-request interval observed
+	// when this seed executed.
+	Intvls map[int]int64
+	// Dir is the adaptive mutation direction: +1 grows the head chain,
+	// -1 shrinks it (paper §6.2.1, interval-guided directed mutation).
+	Dir int
+	// Target is the contention point this seed was last mutated towards.
+	Target int
+}
+
+// Corpus is the seed corpus with Sonar's retention and selection policies.
+type Corpus struct {
+	seeds []*Seed
+	// best tracks the global minimum interval per contention point.
+	best map[int]int64
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{best: make(map[int]int64)}
+}
+
+// Len returns the number of retained seeds.
+func (c *Corpus) Len() int { return len(c.seeds) }
+
+// Best returns the global minimum interval recorded for a point, or
+// monitor.NoInterval.
+func (c *Corpus) Best(point int) int64 {
+	if v, ok := c.best[point]; ok {
+		return v
+	}
+	return monitor.NoInterval
+}
+
+// Offer applies the retention rule: the testcase joins the corpus if it
+// reduced the minimum reqsIntvl at any contention point below the global
+// best (paper §6.2.1 ①). It returns the created seed, or nil if not
+// retained.
+func (c *Corpus) Offer(tc *Testcase, intvls map[int]int64, dir int, target int) *Seed {
+	improved := false
+	for id, v := range intvls {
+		if old, ok := c.best[id]; !ok || v < old {
+			c.best[id] = v
+			improved = true
+		}
+	}
+	if !improved {
+		return nil
+	}
+	s := &Seed{TC: tc, Intvls: intvls, Dir: dir, Target: target}
+	c.seeds = append(c.seeds, s)
+	return s
+}
+
+// Select picks a seed and a target contention point for the next mutation.
+// With prioritize set, it targets the point with the smallest non-zero best
+// interval — the point closest to (but not yet at) triggering — and picks
+// uniformly among seeds achieving that best (§6.2.1 ②). Without it, the
+// seed is uniform random and the target is any point the seed observed.
+func (c *Corpus) Select(rng *rand.Rand, prioritize bool) (*Seed, int) {
+	if len(c.seeds) == 0 {
+		return nil, -1
+	}
+	if !prioritize {
+		s := c.seeds[rng.Intn(len(c.seeds))]
+		return s, anyPoint(rng, s.Intvls)
+	}
+	// Rank points by interval; points with smaller non-zero best intervals
+	// are "more likely to be selected as targets" (§6.2.1) — rank-weighted
+	// sampling rather than a deterministic argmin, so the campaign does not
+	// tunnel forever on a point whose interval cannot reach zero.
+	type cand struct {
+		id int
+		v  int64
+	}
+	var cands []cand
+	for id, v := range c.best {
+		if v == 0 {
+			continue // already triggered; approaching it halts (paper §6.1)
+		}
+		cands = append(cands, cand{id, v})
+	}
+	if len(cands) == 0 {
+		s := c.seeds[rng.Intn(len(c.seeds))]
+		return s, anyPoint(rng, s.Intvls)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].v != cands[j].v {
+			return cands[i].v < cands[j].v
+		}
+		return cands[i].id < cands[j].id
+	})
+	// Geometric rank weighting: each rank is taken with probability 2/3,
+	// so rank 0 is twice as likely as rank 1, capped at the first 16 ranks.
+	r := 0
+	for r < len(cands)-1 && r < 15 && rng.Intn(3) == 0 {
+		r++
+	}
+	target := cands[r].id
+	bestV := cands[r].v
+	// Among seeds achieving the best interval at the target, pick randomly.
+	var candidates []*Seed
+	for _, s := range c.seeds {
+		if v, ok := s.Intvls[target]; ok && v == bestV {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = c.seeds
+	}
+	return candidates[rng.Intn(len(candidates))], target
+}
+
+func anyPoint(rng *rand.Rand, intvls map[int]int64) int {
+	if len(intvls) == 0 {
+		return -1
+	}
+	k := rng.Intn(len(intvls))
+	for id := range intvls {
+		if k == 0 {
+			return id
+		}
+		k--
+	}
+	return -1
+}

@@ -1,0 +1,142 @@
+// Package fuzz implements Sonar's microarchitectural-state-guided fuzzing
+// (paper §6): the secret-dependent testcase template, seed retention and
+// selection driven by the reqsIntvl feedback, and the adaptive directed
+// mutation strategy that shifts request timing by growing or shrinking the
+// dependency chain at the head of a testcase.
+package fuzz
+
+import (
+	"sonar/internal/isa"
+	"sonar/internal/monitor"
+	"sonar/internal/trace"
+	"sonar/internal/uarch"
+)
+
+// Memory layout shared by all testcases.
+const (
+	// CodeBase is where the victim program is placed.
+	CodeBase uint64 = 0x1_0000
+	// HandlerBase is where exception handlers are placed.
+	HandlerBase uint64 = 0x2_0000
+	// AttackerCodeBase is where the dual-core attacker program is placed.
+	AttackerCodeBase uint64 = 0x3_0000
+	// DataBase is the start of the victim data window.
+	DataBase uint64 = 0x4_0000
+	// AttackerDataBase is the start of the attacker data window.
+	AttackerDataBase uint64 = 0x6_0000
+	// SecretAddr holds the secret value during fuzzing (unprivileged).
+	SecretAddr uint64 = 0x8_0000
+	// PrivBase..PrivLimit is the privileged range used by Meltdown-style
+	// exploitability analysis (package attack).
+	PrivBase  uint64 = 0x10_0000
+	PrivLimit uint64 = 0x10_1000
+)
+
+// Reserved registers (never touched by random fillers).
+const (
+	// RegChain carries the head dependency chain value.
+	RegChain = 9
+	// RegProbe0..2 are scratch registers for probe address computation.
+	RegProbe0 = 10
+	RegProbe1 = 11
+	RegProbe2 = 12
+	// RegDataBase holds DataBase.
+	RegDataBase = 28
+	// RegSecretBase holds SecretAddr.
+	RegSecretBase = 29
+	// RegSecret receives the loaded secret value.
+	RegSecret = 30
+	// RegTmp is scratch for secret-dependent ops.
+	RegTmp = 31
+)
+
+// DUT bundles an elaborated SoC with its contention-point analysis and
+// instrumentation, ready to execute testcases.
+type DUT struct {
+	SoC      *uarch.SoC
+	Analysis *trace.Analysis
+	Mon      *monitor.Monitor
+	// WindowAlwaysOpen disables the secret-dependent monitoring window:
+	// states are collected over the whole execution (the §6.1 ablation).
+	WindowAlwaysOpen bool
+}
+
+// NewDUT analyzes and instruments a SoC. Similarity matching for persistent
+// contention uses cacheline granularity.
+func NewDUT(soc *uarch.SoC) *DUT {
+	a := trace.Analyze(soc.Net)
+	m := monitor.New(a, monitor.Config{SimilarityMask: ^uint64(uarch.LineBytes - 1)})
+	d := &DUT{SoC: soc, Analysis: a, Mon: m}
+	for _, c := range soc.Cores {
+		c.SetWindowObserver(&windowGate{d})
+	}
+	soc.Mem.SetPrivRange(PrivBase, PrivLimit)
+	return d
+}
+
+// windowGate forwards the cores' window transitions to the monitor unless
+// the whole-run ablation pins the window open.
+type windowGate struct{ d *DUT }
+
+// SetWindow implements uarch.WindowObserver.
+func (g *windowGate) SetWindow(open bool) {
+	if g.d.WindowAlwaysOpen {
+		g.d.Mon.SetWindow(true)
+		return
+	}
+	g.d.Mon.SetWindow(open)
+}
+
+// Execution is the observable outcome of one testcase run under one secret.
+type Execution struct {
+	// Log is the victim core's commit log.
+	Log []uarch.CommitRecord
+	// AttackerLog is the second core's commit log (dual-core scenario).
+	AttackerLog []uarch.CommitRecord
+	// Snap is the contention-state snapshot within the monitoring window.
+	Snap *monitor.Snapshot
+	// Cycles is the total cycle count of the run.
+	Cycles int64
+}
+
+// Execute resets the DUT, installs the secret, and runs the testcase to
+// completion under the given secret value.
+func (d *DUT) Execute(tc *Testcase, secret uint64) *Execution {
+	d.SoC.Reset()
+	d.Mon.Reset()
+	if d.WindowAlwaysOpen {
+		d.Mon.SetWindow(true)
+	}
+	d.SoC.Mem.Write(SecretAddr, secret, 8)
+
+	prog, sStart, sEnd := tc.Build()
+	victim := d.SoC.Cores[0]
+	victim.LoadProgram(prog)
+	victim.SetSecretRange(sStart, sEnd)
+
+	if len(d.SoC.Cores) > 1 {
+		if len(tc.Attacker) > 0 {
+			att := tc.BuildAttacker()
+			d.SoC.Cores[1].LoadProgram(att)
+		} else {
+			d.haltOthers()
+		}
+	}
+	cycles := d.SoC.Run()
+	ex := &Execution{
+		Log:    victim.CommitLog,
+		Snap:   d.Mon.Snapshot(),
+		Cycles: cycles,
+	}
+	if len(d.SoC.Cores) > 1 && len(tc.Attacker) > 0 {
+		ex.AttackerLog = d.SoC.Cores[1].CommitLog
+	}
+	return ex
+}
+
+func (d *DUT) haltOthers() {
+	for _, c := range d.SoC.Cores[1:] {
+		// An empty program at an undecodable address halts immediately.
+		c.LoadProgram(isa.NewProgram(0xF_0000, isa.Instr{Op: isa.ECALL}))
+	}
+}

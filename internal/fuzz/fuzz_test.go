@@ -1,0 +1,275 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"sonar/internal/monitor"
+	"sonar/internal/uarch"
+)
+
+func liteDUT() *DUT {
+	return NewDUT(uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), false)
+	b := Generate(rand.New(rand.NewSource(7)), false)
+	pa, sa, ea := a.Build()
+	pb, sb, eb := b.Build()
+	if sa != sb || ea != eb || pa.Len() != pb.Len() {
+		t.Fatal("same seed produced different testcases")
+	}
+	for i := range pa.Code {
+		if pa.Code[i] != pb.Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestBuildSecretRange(t *testing.T) {
+	tc := Generate(rand.New(rand.NewSource(3)), false)
+	prog, start, end := tc.Build()
+	if start <= 0 || end <= start || end > prog.Len() {
+		t.Fatalf("secret range [%d,%d) of %d instructions", start, end, prog.Len())
+	}
+	// The region must start with the secret load.
+	first := prog.Code[start]
+	if !first.Op.IsLoad() || first.Rd != RegSecret || first.Rs1 != RegSecretBase {
+		t.Errorf("secret region starts with %s, want ld x%d, 0(x%d)", first, RegSecret, RegSecretBase)
+	}
+	// Program must terminate with ecall.
+	if prog.Code[prog.Len()-1].Op.String() != "ecall" {
+		t.Error("program does not end with ecall")
+	}
+}
+
+func TestExecuteRunsAndSnapshots(t *testing.T) {
+	d := liteDUT()
+	tc := Generate(rand.New(rand.NewSource(5)), false)
+	ex := d.Execute(tc, 0)
+	if len(ex.Log) == 0 {
+		t.Fatal("no commits")
+	}
+	if ex.Snap == nil || len(ex.Snap.Points) != d.Mon.NumPoints() {
+		t.Fatal("snapshot missing or wrong size")
+	}
+	if ex.Cycles <= 0 || ex.Cycles >= uarch.BoomConfig().MaxCycles {
+		t.Fatalf("cycles = %d", ex.Cycles)
+	}
+	// Determinism: same testcase + same secret => identical timings.
+	ex2 := d.Execute(tc, 0)
+	if len(ex2.Log) != len(ex.Log) {
+		t.Fatal("re-execution changed commit count")
+	}
+	for i := range ex.Log {
+		if ex.Log[i].Cycle != ex2.Log[i].Cycle {
+			t.Fatalf("re-execution drifted at commit %d", i)
+		}
+	}
+}
+
+// The secret-dependent divide pattern must expose a timing difference
+// between secrets — the core mechanism every campaign relies on.
+func TestSecretDivExposesTimingDifference(t *testing.T) {
+	d := liteDUT()
+	tc := &Testcase{
+		HeadChain: nil,
+		Patterns:  []SecretPattern{PatternDiv},
+		Probe:     PatternDiv,
+	}
+	exA := d.Execute(tc, 0)
+	exB := d.Execute(tc, 1)
+	diff := false
+	n := len(exA.Log)
+	if len(exB.Log) < n {
+		n = len(exB.Log)
+	}
+	for i := 0; i < n; i++ {
+		if exA.Log[i].Cycle != exB.Log[i].Cycle {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("secret-dependent divide produced identical timing under both secrets")
+	}
+}
+
+func TestMonitoringWindowOpensDuringSecretRegion(t *testing.T) {
+	d := liteDUT()
+	tc := Generate(rand.New(rand.NewSource(11)), false)
+	ex := d.Execute(tc, 1)
+	// With the window restricted to the secret region, at least some
+	// points must still record events (the secret ops issue requests).
+	events := 0
+	for i := range ex.Snap.Points {
+		events += ex.Snap.Points[i].EventCount
+	}
+	if events == 0 {
+		t.Error("no contention-state events inside the monitoring window")
+	}
+}
+
+func TestCorpusRetentionRule(t *testing.T) {
+	c := NewCorpus()
+	tc := &Testcase{}
+	if s := c.Offer(tc, map[int]int64{1: 10}, +1, -1); s == nil {
+		t.Fatal("first observation not retained")
+	}
+	if s := c.Offer(tc, map[int]int64{1: 10}, +1, -1); s != nil {
+		t.Error("equal interval retained")
+	}
+	if s := c.Offer(tc, map[int]int64{1: 12}, +1, -1); s != nil {
+		t.Error("worse interval retained")
+	}
+	if s := c.Offer(tc, map[int]int64{1: 4}, +1, -1); s == nil {
+		t.Error("improved interval not retained")
+	}
+	if s := c.Offer(tc, map[int]int64{2: 100}, +1, -1); s == nil {
+		t.Error("new point not retained")
+	}
+	if c.Len() != 3 {
+		t.Errorf("corpus size = %d, want 3", c.Len())
+	}
+	if c.Best(1) != 4 {
+		t.Errorf("Best(1) = %d, want 4", c.Best(1))
+	}
+	if c.Best(99) != monitor.NoInterval {
+		t.Error("Best of unknown point should be NoInterval")
+	}
+}
+
+func TestCorpusSelectionPrioritizesSmallestNonzero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCorpus()
+	c.Offer(&Testcase{}, map[int]int64{1: 0, 2: 9, 3: 3}, +1, -1)
+	c.Offer(&Testcase{}, map[int]int64{2: 7}, +1, -1)
+	counts := map[int]int{}
+	for i := 0; i < 400; i++ {
+		seed, target := c.Select(rng, true)
+		if seed == nil {
+			t.Fatal("no seed selected")
+		}
+		// Point 1 is already triggered (interval 0) and must never be
+		// targeted; selection among the rest is rank-weighted.
+		if target == 1 {
+			t.Fatal("selected an already-triggered point")
+		}
+		counts[target]++
+	}
+	// Point 3 (interval 3) must be preferred over point 2 (interval 7/9).
+	if counts[3] <= counts[2] {
+		t.Errorf("rank weighting broken: counts = %v", counts)
+	}
+	// Unprioritized selection must still return something valid.
+	seed, _ := c.Select(rng, false)
+	if seed == nil {
+		t.Fatal("unprioritized selection returned nil")
+	}
+}
+
+func TestMutateDirectedMovesTimingMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// The probe's effective delay is the head-chain length (2 cycles per
+	// link) plus the cycle-granular ProbeDelay; Dir=+1 mutations must
+	// increase it, Dir=-1 must decrease it (until clamped at zero).
+	delayOf := func(tc *Testcase) int { return 2*len(tc.HeadChain) + tc.ProbeDelay }
+	base := Generate(rng, false)
+	base.ProbeDelay = 25
+	for _, dir := range []int{+1, -1} {
+		seed := &Seed{TC: base, Dir: dir}
+		for i := 0; i < 30; i++ {
+			m := MutateDirected(seed, rng)
+			if dir > 0 && delayOf(m) <= delayOf(base) {
+				t.Fatalf("Dir=+1 delay %d -> %d, want growth", delayOf(base), delayOf(m))
+			}
+			if dir < 0 && delayOf(m) >= delayOf(base) {
+				t.Fatalf("Dir=-1 delay %d -> %d, want shrinkage", delayOf(base), delayOf(m))
+			}
+		}
+	}
+	// Mutation must not alias the parent's slices.
+	grown := MutateDirected(&Seed{TC: base, Dir: +1}, rng)
+	if len(base.HeadChain) > 0 && len(grown.HeadChain) > 0 {
+		old := base.HeadChain[0]
+		grown.HeadChain[0] = randomFiller(rng)
+		if base.HeadChain[0] != old {
+			t.Error("mutation aliased parent testcase")
+		}
+	}
+	// ProbeDelay clamps at [0, 61].
+	low := base.Clone()
+	low.ProbeDelay = 0
+	for i := 0; i < 20; i++ {
+		if m := MutateDirected(&Seed{TC: low, Dir: -1}, rng); m.ProbeDelay < 0 {
+			t.Fatal("ProbeDelay went negative")
+		}
+	}
+}
+
+func TestMutateRandomPreservesTemplateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := Generate(rng, false)
+	seed := &Seed{TC: base}
+	for i := 0; i < 50; i++ {
+		m := MutateRandom(seed, rng)
+		_, start, end := m.Build()
+		if start <= 0 || end <= start {
+			t.Fatalf("mutation %d broke the secret region", i)
+		}
+	}
+}
+
+func TestCampaignSmoke(t *testing.T) {
+	d := liteDUT()
+	opt := SonarOptions(15)
+	st := Run(d, opt)
+	if len(st.PerIteration) != 15 {
+		t.Fatalf("iterations recorded = %d", len(st.PerIteration))
+	}
+	last := 0
+	for _, it := range st.PerIteration {
+		if it.CumPoints < last {
+			t.Fatal("cumulative triggered points decreased")
+		}
+		last = it.CumPoints
+	}
+	if st.PerIteration[14].CumPoints == 0 {
+		t.Error("no contention triggered in 15 iterations")
+	}
+	if st.ExecutedCycles == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestCampaignRandomBaselineRetainsNothing(t *testing.T) {
+	d := liteDUT()
+	st := Run(d, RandomOptions(5))
+	if st.CorpusSize != 0 {
+		t.Errorf("random baseline corpus size = %d, want 0", st.CorpusSize)
+	}
+}
+
+func TestCampaignReproducible(t *testing.T) {
+	a := Run(liteDUT(), SonarOptions(8))
+	b := Run(liteDUT(), SonarOptions(8))
+	for i := range a.PerIteration {
+		if a.PerIteration[i] != b.PerIteration[i] {
+			t.Fatalf("iteration %d differs: %+v vs %+v", i, a.PerIteration[i], b.PerIteration[i])
+		}
+	}
+}
+
+func TestCampaignDualCore(t *testing.T) {
+	d := NewDUT(uarch.NewSoC(uarch.BoomConfig(), 2, nil, nil))
+	opt := SonarOptions(6)
+	opt.DualCore = true
+	st := Run(d, opt)
+	if len(st.PerIteration) != 6 {
+		t.Fatal("dual-core campaign did not complete")
+	}
+	if st.PerIteration[5].CumPoints == 0 {
+		t.Error("dual-core campaign triggered nothing")
+	}
+}

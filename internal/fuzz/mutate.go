@@ -1,0 +1,173 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"sonar/internal/isa"
+)
+
+// MutateDirected applies the interval-guided directed mutation (paper
+// §6.2.1): insert or remove instructions at the head of the dependency
+// chain, in the seed's current direction. Inserting delays the parsing time
+// of all downstream chain-dependent instructions; removing advances it —
+// the monotonic knob the adaptive strategy relies on.
+func MutateDirected(seed *Seed, rng *rand.Rand) *Testcase {
+	tc := seed.TC.Clone()
+	k := 1 + rng.Intn(3)
+	if rng.Intn(4) == 0 {
+		// Occasionally move the whole window by editing the head chain.
+		if seed.Dir >= 0 {
+			tc.HeadChain = append(tc.HeadChain, isa.DepChain(RegChain, k)...)
+		} else if len(tc.HeadChain) > k {
+			tc.HeadChain = tc.HeadChain[:len(tc.HeadChain)-k]
+		} else {
+			tc.HeadChain = tc.HeadChain[:0]
+		}
+	} else {
+		// The primary knob: the probe's cycle-granular delay, which moves
+		// its request timing without disturbing program layout.
+		tc.ProbeDelay += seed.Dir * k
+		if tc.ProbeDelay < 0 {
+			tc.ProbeDelay = 0
+		}
+		if tc.ProbeDelay > 61 {
+			tc.ProbeDelay = 61
+		}
+	}
+	// A light random touch keeps exploration alive without disrupting the
+	// critical structure; similarity enhancement gets its own draw because
+	// persistent contention depends on it (§6.2.2).
+	if rng.Intn(2) == 0 {
+		enhanceSimilarity(tc, rng)
+	}
+	if rng.Intn(4) == 0 {
+		mutateRandomRegion(tc, rng)
+	}
+	return tc
+}
+
+// MutateRandom applies unguided mutation: random region edits only, the
+// behaviour of a fuzzer without the directed strategy (Figure 10 ablation).
+func MutateRandom(seed *Seed, rng *rand.Rand) *Testcase {
+	tc := seed.TC.Clone()
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		mutateRandomRegion(tc, rng)
+	}
+	return tc
+}
+
+// mutateRandomRegion applies one structure-agnostic random edit:
+// replace/insert/delete a filler, retarget a memory offset, or change the
+// probe class. Data-similarity enhancement is deliberately NOT among these:
+// it is part of Sonar's directed mutation design (§6.2.2), not of the
+// random-mutation baselines.
+func mutateRandomRegion(tc *Testcase, rng *rand.Rand) {
+	region := &tc.Epilogue
+	if rng.Intn(2) == 0 && len(tc.Prologue) > 0 {
+		region = &tc.Prologue
+	}
+	switch rng.Intn(6) {
+	case 0: // replace a filler
+		if len(*region) > 0 {
+			(*region)[rng.Intn(len(*region))] = randomFiller(rng)
+		}
+	case 1: // insert a filler
+		*region = append(*region, randomFiller(rng))
+	case 2: // delete a filler
+		if len(*region) > 1 {
+			i := rng.Intn(len(*region))
+			*region = append((*region)[:i], (*region)[i+1:]...)
+		}
+	case 3: // retarget a memory access (base register and offset)
+		idxs := memOpIndices(*region)
+		if len(idxs) > 0 {
+			i := idxs[rng.Intn(len(idxs))]
+			(*region)[i].Imm = int64(rng.Intn(64)-32) * 64
+			(*region)[i].Rs1 = fillerBases[rng.Intn(len(fillerBases))]
+		}
+	case 4: // change the probe class
+		tc.Probe = SecretPattern(rng.Intn(int(numPatterns)))
+	default: // re-roll one secret-dependent pattern, so lineages do not
+		// fixate on secret operations with weak timing signals
+		if len(tc.Patterns) > 0 {
+			tc.Patterns[rng.Intn(len(tc.Patterns))] = SecretPattern(rng.Intn(int(numPatterns)))
+		}
+	}
+}
+
+func retargetMemOffset(region []isa.Instr, rng *rand.Rand, offset int64) {
+	idxs := memOpIndices(region)
+	if len(idxs) == 0 {
+		return
+	}
+	region[idxs[rng.Intn(len(idxs))]].Imm = offset
+}
+
+// enhanceSimilarity aligns two memory requests onto the same cacheline —
+// the data-similarity condition for persistent contention (§6.2.2). It
+// aligns either two random fillers, or the probe with a filler (in either
+// direction), so the chain-timed probe can revisit a line whose first
+// access has fixed timing.
+func enhanceSimilarity(tc *Testcase, rng *rand.Rand) {
+	all := append(append([]isa.Instr(nil), tc.Prologue...), tc.Epilogue...)
+	idxs := memOpIndices(all)
+	switch rng.Intn(6) {
+	case 0: // probe adopts a filler's line (base register and offset)
+		if len(idxs) > 0 {
+			src := all[idxs[rng.Intn(len(idxs))]]
+			tc.ProbeOffset = src.Imm
+			tc.ProbeBase = src.Rs1
+		}
+	case 1: // a filler adopts the probe's line
+		if len(idxs) > 0 {
+			setRegionAccess(tc, idxs[rng.Intn(len(idxs))], tc.ProbeBase, tc.ProbeOffset)
+		}
+	case 2, 4, 5: // probe and an epilogue filler jointly move to a fresh line:
+		// the pair explores a storage unit the lineage has not visited
+		// (keeps persistent-contention discovery from stalling on the
+		// ancestors' few lines).
+		line := int64(rng.Intn(64)-32) * 64
+		base := fillerBases[rng.Intn(len(fillerBases))]
+		tc.ProbeOffset = line
+		tc.ProbeBase = base
+		if eIdxs := memOpIndices(tc.Epilogue); len(eIdxs) > 0 {
+			i := eIdxs[rng.Intn(len(eIdxs))]
+			tc.Epilogue[i].Imm = line
+			tc.Epilogue[i].Rs1 = base
+		} else {
+			tc.Epilogue = append(tc.Epilogue, isa.Load(isa.LD, 4, base, line))
+		}
+	default: // filler-to-filler alignment
+		if len(idxs) < 2 {
+			return
+		}
+		a := idxs[rng.Intn(len(idxs))]
+		b := idxs[rng.Intn(len(idxs))]
+		if a == b {
+			return
+		}
+		setRegionAccess(tc, b, all[a].Rs1, all[a].Imm)
+	}
+}
+
+// setRegionAccess rewrites a memory op's base register and offset in the
+// region owning the concatenated index (prologue then epilogue).
+func setRegionAccess(tc *Testcase, idx int, base uint8, imm int64) {
+	if idx < len(tc.Prologue) {
+		tc.Prologue[idx].Rs1 = base
+		tc.Prologue[idx].Imm = imm
+	} else {
+		tc.Epilogue[idx-len(tc.Prologue)].Rs1 = base
+		tc.Epilogue[idx-len(tc.Prologue)].Imm = imm
+	}
+}
+
+func memOpIndices(region []isa.Instr) []int {
+	var idxs []int
+	for i, ins := range region {
+		if ins.Op.IsMem() {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}

@@ -1,0 +1,39 @@
+package hdl
+
+import "fmt"
+
+// Mux is a 2:1 multiplexer node: Out = Sel ? TVal : FVal.
+//
+// n:1 selections are expressed as cascades of 2:1 MUXes, mirroring how
+// FIRRTL lowers wide selects. Package trace reconstructs the n:1 trees with
+// bottom-up tracing (paper §5.1).
+type Mux struct {
+	id   int
+	net  *Netlist
+	Out  *Signal
+	Sel  *Signal
+	TVal *Signal
+	FVal *Signal
+}
+
+// ID returns the netlist-unique identifier of the mux.
+func (m *Mux) ID() int { return m.id }
+
+// ModulePath returns the hierarchical module path owning the mux output.
+func (m *Mux) ModulePath() string { return m.Out.ModulePath() }
+
+// Eval computes the selected input value and drives it onto Out. Processor
+// models may instead drive Out directly; Eval is used by the levelized
+// netlist simulator (package sim).
+func (m *Mux) Eval() {
+	if m.Sel.Bool() {
+		m.Out.Set(m.TVal.Value())
+	} else {
+		m.Out.Set(m.FVal.Value())
+	}
+}
+
+// String implements fmt.Stringer.
+func (m *Mux) String() string {
+	return fmt.Sprintf("%s = mux(%s, %s, %s)", m.Out.Name(), m.Sel.Name(), m.TVal.Name(), m.FVal.Name())
+}

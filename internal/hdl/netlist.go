@@ -1,0 +1,259 @@
+package hdl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Netlist is the flat structural registry of a design: every signal and
+// every 2:1 MUX, indexed by hierarchical name.
+type Netlist struct {
+	name    string
+	signals map[string]*Signal
+	order   []*Signal
+	muxes   []*Mux
+	prims   []*Prim
+	// driver maps a signal to the mux driving it, if any.
+	driver map[*Signal]*Mux
+	// primDriver maps a signal to the prim driving it, if any.
+	primDriver map[*Signal]*Prim
+	// muxDataUse marks signals consumed as a TVal/FVal of some mux: such a
+	// signal cannot be the root of an n:1 cascade tree.
+	muxDataUse map[*Signal]bool
+	cycle      int64
+}
+
+// NewNetlist creates an empty netlist for a design with the given name.
+func NewNetlist(name string) *Netlist {
+	return &Netlist{
+		name:       name,
+		signals:    make(map[string]*Signal),
+		driver:     make(map[*Signal]*Mux),
+		primDriver: make(map[*Signal]*Prim),
+		muxDataUse: make(map[*Signal]bool),
+	}
+}
+
+// Name returns the design name.
+func (n *Netlist) Name() string { return n.name }
+
+// Cycle returns the current simulation cycle of the netlist clock.
+func (n *Netlist) Cycle() int64 { return n.cycle }
+
+// Step advances the netlist clock by one cycle.
+func (n *Netlist) Step() { n.cycle++ }
+
+// SetCycle forces the clock, used when a netlist is re-run from zero.
+func (n *Netlist) SetCycle(c int64) { n.cycle = c }
+
+// NumSignals returns the number of signals in the netlist.
+func (n *Netlist) NumSignals() int { return len(n.order) }
+
+// NumMuxes returns the number of 2:1 MUX nodes in the netlist.
+func (n *Netlist) NumMuxes() int { return len(n.muxes) }
+
+// Signals returns all signals in creation order.
+func (n *Netlist) Signals() []*Signal { return n.order }
+
+// Muxes returns all 2:1 MUX nodes in creation order.
+func (n *Netlist) Muxes() []*Mux { return n.muxes }
+
+// Signal looks a signal up by full hierarchical name.
+func (n *Netlist) Signal(name string) (*Signal, bool) {
+	s, ok := n.signals[name]
+	return s, ok
+}
+
+// MustSignal looks a signal up by name and panics if it does not exist.
+func (n *Netlist) MustSignal(name string) *Signal {
+	s, ok := n.signals[name]
+	if !ok {
+		panic(fmt.Sprintf("hdl: no signal named %q in %s", name, n.name))
+	}
+	return s
+}
+
+// Driver returns the mux driving the given signal, if any.
+func (n *Netlist) Driver(s *Signal) (*Mux, bool) {
+	m, ok := n.driver[s]
+	return m, ok
+}
+
+// IsMuxDataInput reports whether the signal is consumed as the TVal or FVal
+// of any mux in the netlist.
+func (n *Netlist) IsMuxDataInput(s *Signal) bool { return n.muxDataUse[s] }
+
+// newSignal registers a signal, enforcing unique names and sane widths.
+func (n *Netlist) newSignal(name string, width int, kind Kind, val uint64) *Signal {
+	if name == "" {
+		panic("hdl: empty signal name")
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("hdl: signal %s has unsupported width %d", name, width))
+	}
+	if _, dup := n.signals[name]; dup {
+		panic(fmt.Sprintf("hdl: duplicate signal name %q", name))
+	}
+	s := &Signal{net: n, id: len(n.order), name: name, width: width, kind: kind}
+	s.val = val & s.Mask()
+	n.signals[name] = s
+	n.order = append(n.order, s)
+	return s
+}
+
+// Wire creates a top-level wire signal.
+func (n *Netlist) Wire(name string, width int) *Signal {
+	return n.newSignal(name, width, Wire, 0)
+}
+
+// Reg creates a top-level register signal.
+func (n *Netlist) Reg(name string, width int) *Signal {
+	return n.newSignal(name, width, Reg, 0)
+}
+
+// Const creates a top-level constant signal with a fixed value.
+func (n *Netlist) Const(name string, width int, val uint64) *Signal {
+	return n.newSignal(name, width, Const, val)
+}
+
+// Input creates a top-level input port signal.
+func (n *Netlist) Input(name string, width int) *Signal {
+	return n.newSignal(name, width, Input, 0)
+}
+
+// Output creates a top-level output port signal.
+func (n *Netlist) Output(name string, width int) *Signal {
+	return n.newSignal(name, width, Output, 0)
+}
+
+// Mux creates a 2:1 mux driving out. A signal may be driven by at most one
+// mux; out must not be a constant.
+func (n *Netlist) Mux(out, sel, tval, fval *Signal) *Mux {
+	if out.IsConst() {
+		panic(fmt.Sprintf("hdl: mux driving constant %s", out.Name()))
+	}
+	if _, dup := n.driver[out]; dup {
+		panic(fmt.Sprintf("hdl: signal %s driven by two muxes", out.Name()))
+	}
+	m := &Mux{id: len(n.muxes), net: n, Out: out, Sel: sel, TVal: tval, FVal: fval}
+	n.muxes = append(n.muxes, m)
+	n.driver[out] = m
+	n.muxDataUse[tval] = true
+	n.muxDataUse[fval] = true
+	return m
+}
+
+// ModulePaths returns the sorted set of module paths that own at least one
+// mux, useful for distribution reports (paper Figure 7).
+func (n *Netlist) ModulePaths() []string {
+	set := make(map[string]bool)
+	for _, m := range n.muxes {
+		set[m.ModulePath()] = true
+	}
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Module returns a builder scoped to the given hierarchical path. Nested
+// paths are joined with ".".
+func (n *Netlist) Module(path string) *Module {
+	return &Module{net: n, path: path}
+}
+
+// Module is a name-scoped builder over a netlist. All signals created
+// through it are prefixed with the module path.
+type Module struct {
+	net  *Netlist
+	path string
+}
+
+// Path returns the hierarchical path of the module.
+func (m *Module) Path() string { return m.path }
+
+// Netlist returns the underlying netlist.
+func (m *Module) Netlist() *Netlist { return m.net }
+
+// Child returns a builder for a submodule of this module.
+func (m *Module) Child(name string) *Module {
+	return &Module{net: m.net, path: m.join(name)}
+}
+
+func (m *Module) join(name string) string {
+	if m.path == "" {
+		return name
+	}
+	return m.path + "." + name
+}
+
+// Wire creates a wire in this module.
+func (m *Module) Wire(name string, width int) *Signal {
+	return m.net.newSignal(m.join(name), width, Wire, 0)
+}
+
+// Reg creates a register in this module.
+func (m *Module) Reg(name string, width int) *Signal {
+	return m.net.newSignal(m.join(name), width, Reg, 0)
+}
+
+// Const creates a constant in this module.
+func (m *Module) Const(name string, width int, val uint64) *Signal {
+	return m.net.newSignal(m.join(name), width, Const, val)
+}
+
+// Input creates an input port in this module.
+func (m *Module) Input(name string, width int) *Signal {
+	return m.net.newSignal(m.join(name), width, Input, 0)
+}
+
+// Output creates an output port in this module.
+func (m *Module) Output(name string, width int) *Signal {
+	return m.net.newSignal(m.join(name), width, Output, 0)
+}
+
+// Mux creates a 2:1 mux in this module driving a freshly created wire named
+// name.
+func (m *Module) Mux(name string, sel, tval, fval *Signal) *Mux {
+	out := m.Wire(name, maxWidth(tval, fval))
+	return m.net.Mux(out, sel, tval, fval)
+}
+
+// MuxInto creates a 2:1 mux driving an existing signal.
+func (m *Module) MuxInto(out *Signal, sel, tval, fval *Signal) *Mux {
+	return m.net.Mux(out, sel, tval, fval)
+}
+
+// MuxTree builds a cascaded n:1 selection over inputs using one select
+// signal per level (priority encoding: sels[i] picks inputs[i], the final
+// else branch is the last input). It returns the root mux whose Out carries
+// the selected value, named name. len(sels) must be len(inputs)-1 and
+// len(inputs) >= 2.
+func (m *Module) MuxTree(name string, sels []*Signal, inputs []*Signal) *Mux {
+	if len(inputs) < 2 || len(sels) != len(inputs)-1 {
+		panic(fmt.Sprintf("hdl: MuxTree %s: %d inputs, %d selects", name, len(inputs), len(sels)))
+	}
+	// Build from the tail: acc = mux(sels[k], inputs[k], acc).
+	acc := inputs[len(inputs)-1]
+	var root *Mux
+	for k := len(inputs) - 2; k >= 0; k-- {
+		var out *Signal
+		if k == 0 {
+			out = m.Wire(name, maxWidth(inputs[k], acc))
+		} else {
+			out = m.Wire(fmt.Sprintf("%s_lvl%d", name, k), maxWidth(inputs[k], acc))
+		}
+		root = m.net.Mux(out, sels[k], inputs[k], acc)
+		acc = out
+	}
+	return root
+}
+
+func maxWidth(a, b *Signal) int {
+	if a.Width() > b.Width() {
+		return a.Width()
+	}
+	return b.Width()
+}

@@ -1,0 +1,153 @@
+package hdl
+
+import "testing"
+
+func primRig(t *testing.T, op string, widths []int, intParams []int64) (*Netlist, []*Signal, *Prim) {
+	t.Helper()
+	n := NewNetlist("p")
+	m := n.Module("m")
+	args := make([]*Signal, len(widths))
+	for i, w := range widths {
+		args[i] = m.Wire("a"+string(rune('0'+i)), w)
+	}
+	out := m.Wire("out", PrimResultWidth(op, args, intParams))
+	p := n.Prim(out, op, args, intParams)
+	return n, args, p
+}
+
+func TestPrimArithmeticAndLogic(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b uint64
+		want uint64
+	}{
+		{"and", 0b1100, 0b1010, 0b1000},
+		{"or", 0b1100, 0b1010, 0b1110},
+		{"xor", 0b1100, 0b1010, 0b0110},
+		{"add", 200, 100, 300},
+		{"sub", 200, 100, 100},
+		{"mul", 20, 10, 200},
+		{"div", 201, 10, 20},
+		{"rem", 201, 10, 1},
+		{"div", 201, 0, 0}, // division by zero guards
+		{"rem", 201, 0, 0},
+		{"eq", 7, 7, 1},
+		{"eq", 7, 8, 0},
+		{"neq", 7, 8, 1},
+		{"lt", 3, 9, 1},
+		{"leq", 9, 9, 1},
+		{"gt", 9, 3, 1},
+		{"geq", 3, 9, 0},
+		{"dshl", 1, 4, 16},
+		{"dshr", 16, 4, 1},
+	}
+	for _, c := range cases {
+		_, args, p := primRig(t, c.op, []int{16, 16}, nil)
+		args[0].Set(c.a)
+		args[1].Set(c.b)
+		if got := p.Compute(); got != c.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPrimUnaryAndParams(t *testing.T) {
+	_, args, p := primRig(t, "not", []int{4}, nil)
+	args[0].Set(0b0101)
+	if got := p.Compute(); got != 0b1010 {
+		t.Errorf("not = %#b", got)
+	}
+	_, args, p = primRig(t, "bits", []int{16}, []int64{7, 4})
+	args[0].Set(0xABCD)
+	if got := p.Compute(); got != 0xC {
+		t.Errorf("bits(0xABCD, 7, 4) = %#x, want 0xc", got)
+	}
+	_, args, p = primRig(t, "shl", []int{8}, []int64{3})
+	args[0].Set(0b101)
+	if got := p.Compute(); got != 0b101000 {
+		t.Errorf("shl = %#b", got)
+	}
+	_, args, p = primRig(t, "cat", []int{4, 4}, nil)
+	args[0].Set(0xA)
+	args[1].Set(0x5)
+	if got := p.Compute(); got != 0xA5 {
+		t.Errorf("cat = %#x", got)
+	}
+	_, args, p = primRig(t, "orr", []int{8}, nil)
+	args[0].Set(0)
+	if p.Compute() != 0 {
+		t.Error("orr(0) != 0")
+	}
+	args[0].Set(0x40)
+	if p.Compute() != 1 {
+		t.Error("orr(0x40) != 1")
+	}
+	_, args, p = primRig(t, "andr", []int{4}, nil)
+	args[0].Set(0xF)
+	if p.Compute() != 1 {
+		t.Error("andr(0xF) != 1")
+	}
+	_, args, p = primRig(t, "xorr", []int{8}, nil)
+	args[0].Set(0b1011)
+	if p.Compute() != 1 {
+		t.Error("xorr(0b1011) != 1 (odd parity)")
+	}
+}
+
+func TestPrimResultWidths(t *testing.T) {
+	n := NewNetlist("w")
+	m := n.Module("m")
+	a8 := m.Wire("a", 8)
+	b8 := m.Wire("b", 8)
+	cases := []struct {
+		op   string
+		args []*Signal
+		ips  []int64
+		want int
+	}{
+		{"eq", []*Signal{a8, b8}, nil, 1},
+		{"add", []*Signal{a8, b8}, nil, 9},
+		{"mul", []*Signal{a8, b8}, nil, 16},
+		{"cat", []*Signal{a8, b8}, nil, 16},
+		{"bits", []*Signal{a8}, []int64{5, 2}, 4},
+		{"shl", []*Signal{a8}, []int64{4}, 12},
+		{"tail", []*Signal{a8}, []int64{3}, 5},
+		{"pad", []*Signal{a8}, []int64{12}, 12},
+		{"and", []*Signal{a8, b8}, nil, 8},
+	}
+	for _, c := range cases {
+		if got := PrimResultWidth(c.op, c.args, c.ips); got != c.want {
+			t.Errorf("width(%s) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestPrimRecordsFanin(t *testing.T) {
+	n, args, p := primRig(t, "add", []int{8, 8}, nil)
+	if len(p.Out.Sources()) != 2 {
+		t.Errorf("fan-in = %d, want 2", len(p.Out.Sources()))
+	}
+	if d, ok := n.PrimDriver(p.Out); !ok || d != p {
+		t.Error("PrimDriver not recorded")
+	}
+	_ = args
+}
+
+func TestPrimUnknownOpIsORReduction(t *testing.T) {
+	_, args, p := primRig(t, "frobnicate", []int{8, 8}, nil)
+	args[0].Set(0b01)
+	args[1].Set(0b10)
+	if got := p.Compute(); got != 0b11 {
+		t.Errorf("unknown op = %d, want OR reduction 3", got)
+	}
+}
+
+func TestPrimDoubleDrivePanics(t *testing.T) {
+	n, _, p := primRig(t, "and", []int{4, 4}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("double prim drive did not panic")
+		}
+	}()
+	n.Prim(p.Out, "or", p.Args, nil)
+}

@@ -1,0 +1,160 @@
+package hdl
+
+import "fmt"
+
+// Kind classifies a signal within a netlist.
+type Kind uint8
+
+const (
+	// Wire is a combinationally driven signal.
+	Wire Kind = iota
+	// Reg is a clocked register.
+	Reg
+	// Const is a literal whose value never changes.
+	Const
+	// Input is a module input port.
+	Input
+	// Output is a module output port.
+	Output
+)
+
+// String returns the FIRRTL-ish keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Wire:
+		return "wire"
+	case Reg:
+		return "reg"
+	case Const:
+		return "const"
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// WatchFunc observes a value change on a signal. It is invoked synchronously
+// from Signal.Set with the cycle at which the change occurred.
+type WatchFunc func(s *Signal, old, new uint64, cycle int64)
+
+// Signal is a named, width-annotated value holder in a netlist.
+//
+// Signals are created through Netlist/Module builder methods and are unique
+// by hierarchical name. The zero value is not usable.
+type Signal struct {
+	net      *Netlist
+	id       int
+	name     string // full hierarchical name, "." separated
+	width    int    // 1..64 bits
+	kind     Kind
+	val      uint64
+	sources  []*Signal // declared fan-in, used by validity tracing
+	watchers []WatchFunc
+}
+
+// Name returns the full hierarchical name of the signal.
+func (s *Signal) Name() string { return s.name }
+
+// Local returns the last path segment of the signal name (its name within
+// the owning module).
+func (s *Signal) Local() string {
+	for i := len(s.name) - 1; i >= 0; i-- {
+		if s.name[i] == '.' {
+			return s.name[i+1:]
+		}
+	}
+	return s.name
+}
+
+// ModulePath returns the hierarchical path of the owning module ("" for
+// top-level signals).
+func (s *Signal) ModulePath() string {
+	for i := len(s.name) - 1; i >= 0; i-- {
+		if s.name[i] == '.' {
+			return s.name[:i]
+		}
+	}
+	return ""
+}
+
+// Width returns the bit width of the signal.
+func (s *Signal) Width() int { return s.width }
+
+// Kind returns the signal kind.
+func (s *Signal) Kind() Kind { return s.kind }
+
+// IsConst reports whether the signal is a literal constant.
+func (s *Signal) IsConst() bool { return s.kind == Const }
+
+// Value returns the current value of the signal.
+func (s *Signal) Value() uint64 { return s.val }
+
+// Mask returns the width mask of the signal (all valid bits set).
+func (s *Signal) Mask() uint64 {
+	if s.width >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(s.width)) - 1
+}
+
+// Set updates the signal value, masking it to the signal width, and notifies
+// watchers if the value changed. Setting a Const signal panics: constants are
+// structural facts the analyses rely on.
+func (s *Signal) Set(v uint64) {
+	if s.kind == Const {
+		panic(fmt.Sprintf("hdl: Set on constant signal %s", s.name))
+	}
+	v &= s.Mask()
+	if v == s.val {
+		return
+	}
+	old := s.val
+	s.val = v
+	if len(s.watchers) != 0 {
+		cyc := s.net.cycle
+		for _, w := range s.watchers {
+			w(s, old, v, cyc)
+		}
+	}
+}
+
+// SetBool sets the signal to 1 or 0.
+func (s *Signal) SetBool(b bool) {
+	if b {
+		s.Set(1)
+	} else {
+		s.Set(0)
+	}
+}
+
+// Bool reports whether the signal value is non-zero.
+func (s *Signal) Bool() bool { return s.val != 0 }
+
+// Watch registers fn to be called whenever the signal value changes.
+func (s *Signal) Watch(fn WatchFunc) {
+	s.watchers = append(s.watchers, fn)
+}
+
+// ClearWatchers removes all watch hooks from the signal.
+func (s *Signal) ClearWatchers() { s.watchers = nil }
+
+// Sources returns the declared fan-in of the signal.
+func (s *Signal) Sources() []*Signal { return s.sources }
+
+// AddSource declares src as fan-in of s. It is used by validity tracing when
+// no same-prefix valid signal exists (paper Algorithm 1, lines 4-7).
+func (s *Signal) AddSource(src *Signal) {
+	for _, e := range s.sources {
+		if e == src {
+			return
+		}
+	}
+	s.sources = append(s.sources, src)
+}
+
+// String implements fmt.Stringer.
+func (s *Signal) String() string {
+	return fmt.Sprintf("%s %s : UInt<%d>", s.kind, s.name, s.width)
+}

@@ -1,0 +1,82 @@
+package isa
+
+import "fmt"
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8 // destination register x0..x31
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64 // sign-extended immediate (branch/jump offsets in bytes)
+}
+
+// NOP returns the canonical no-op (addi x0, x0, 0).
+func NOP() Instr { return Instr{Op: ADDI} }
+
+// R builds an R-type instruction.
+func R(op Op, rd, rs1, rs2 uint8) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// I builds an I-type (register-immediate) instruction.
+func I(op Op, rd, rs1 uint8, imm int64) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Load builds a load: rd <- mem[rs1+imm].
+func Load(op Op, rd, rs1 uint8, imm int64) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Store builds a store: mem[rs1+imm] <- rs2.
+func Store(op Op, rs2, rs1 uint8, imm int64) Instr {
+	return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}
+}
+
+// Branch builds a conditional branch with a byte offset.
+func Branch(op Op, rs1, rs2 uint8, offset int64) Instr {
+	return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: offset}
+}
+
+// Reads returns the architectural source registers of the instruction,
+// excluding x0.
+func (i Instr) Reads() []uint8 {
+	var rs []uint8
+	if i.Op.HasRs1() && i.Rs1 != 0 {
+		rs = append(rs, i.Rs1)
+	}
+	if i.Op.HasRs2() && i.Rs2 != 0 {
+		rs = append(rs, i.Rs2)
+	}
+	return rs
+}
+
+// Writes returns the architectural destination register, or 0 if none
+// (writes to x0 are discarded and reported as no destination).
+func (i Instr) Writes() uint8 {
+	if i.Op.HasRd() {
+		return i.Rd
+	}
+	return 0
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch {
+	case i.Op == RDCYCLE:
+		return fmt.Sprintf("rdcycle x%d", i.Rd)
+	case i.Op == FENCE || i.Op == ECALL:
+		return i.Op.String()
+	case i.Op == LUI:
+		return fmt.Sprintf("lui x%d, %d", i.Rd, i.Imm)
+	case i.Op == JAL:
+		return fmt.Sprintf("jal x%d, %d", i.Rd, i.Imm)
+	case i.Op.IsBranch():
+		return fmt.Sprintf("%s x%d, x%d, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case i.Op.IsLoad():
+		return fmt.Sprintf("%s x%d, %d(x%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case i.Op == SCD:
+		return fmt.Sprintf("%s x%d, x%d, 0(x%d)", i.Op, i.Rd, i.Rs2, i.Rs1)
+	case i.Op.IsStore():
+		return fmt.Sprintf("%s x%d, %d(x%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case i.Op.HasRs2():
+		return fmt.Sprintf("%s x%d, x%d, x%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	default:
+		return fmt.Sprintf("%s x%d, x%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	}
+}

@@ -1,0 +1,167 @@
+package isa
+
+import "fmt"
+
+// MemoryBus is the memory interface the architectural interpreter executes
+// against; *uarch.Memory satisfies it.
+type MemoryBus interface {
+	// Read returns n little-endian bytes at addr as a uint64.
+	Read(addr uint64, n int) uint64
+	// Write stores the low n bytes of v at addr.
+	Write(addr uint64, v uint64, n int)
+}
+
+// Interp is a simple architectural interpreter (instruction-set simulator):
+// the golden reference model the cycle-accurate cores are differentially
+// tested against, in the tradition of co-simulation-based processor fuzzers.
+// It is purely functional — no pipeline, no caches, no timing.
+type Interp struct {
+	// Regs is the architectural register file (x0 hardwired to zero).
+	Regs [32]uint64
+	// PC is the current program counter.
+	PC uint64
+	// Cycle feeds rdcycle; the interpreter has no real clock, so it
+	// increments once per retired instruction.
+	Cycle uint64
+	// Halted is set when an ecall retires.
+	Halted bool
+
+	mem MemoryBus
+}
+
+// NewInterp creates an interpreter over a memory bus, starting at entry.
+func NewInterp(mem MemoryBus, entry uint64) *Interp {
+	return &Interp{mem: mem, PC: entry}
+}
+
+func (it *Interp) reg(r uint8) uint64 { return it.Regs[r&31] }
+
+func (it *Interp) setReg(r uint8, v uint64) {
+	if r&31 != 0 {
+		it.Regs[r&31] = v
+	}
+}
+
+// Step fetches, decodes, and retires one instruction. It returns an error
+// for undecodable words.
+func (it *Interp) Step() error {
+	if it.Halted {
+		return nil
+	}
+	word := uint32(it.mem.Read(it.PC, 4))
+	ins, err := Decode(word)
+	if err != nil {
+		return fmt.Errorf("interp: pc %#x: %w", it.PC, err)
+	}
+	next := it.PC + 4
+	rs1, rs2 := it.reg(ins.Rs1), it.reg(ins.Rs2)
+	switch {
+	case ins.Op.IsALU() || ins.Op.IsMul() || ins.Op.IsDiv():
+		it.setReg(ins.Rd, Compute(ins, rs1, rs2))
+	case ins.Op.IsLoad():
+		it.setReg(ins.Rd, it.mem.Read(rs1+uint64(ins.Imm), ins.Op.MemBytes()))
+	case ins.Op == SCD:
+		it.mem.Write(rs1+uint64(ins.Imm), rs2, ins.Op.MemBytes())
+		it.setReg(ins.Rd, 0) // always succeeds, matching the core model
+	case ins.Op.IsStore():
+		it.mem.Write(rs1+uint64(ins.Imm), rs2, ins.Op.MemBytes())
+	case ins.Op.IsBranch():
+		taken := (ins.Op == BEQ && rs1 == rs2) || (ins.Op == BNE && rs1 != rs2)
+		if taken {
+			next = it.PC + uint64(ins.Imm)
+		}
+	case ins.Op.IsJump():
+		it.setReg(ins.Rd, it.PC+4)
+		next = it.PC + uint64(ins.Imm)
+	case ins.Op == RDCYCLE:
+		it.setReg(ins.Rd, it.Cycle)
+	case ins.Op == ECALL:
+		it.Halted = true
+	case ins.Op == FENCE:
+		// no-op
+	}
+	it.PC = next
+	it.Cycle++
+	return nil
+}
+
+// Run steps until ecall or the instruction budget is exhausted. It returns
+// the number of retired instructions.
+func (it *Interp) Run(maxInstrs int) (int, error) {
+	for i := 0; i < maxInstrs; i++ {
+		if it.Halted {
+			return i, nil
+		}
+		if err := it.Step(); err != nil {
+			return i, err
+		}
+	}
+	return maxInstrs, nil
+}
+
+// Compute evaluates an ALU/MUL/DIV operation's result value.
+func Compute(ins Instr, rs1, rs2 uint64) uint64 {
+	imm := uint64(ins.Imm)
+	switch ins.Op {
+	case ADD:
+		return rs1 + rs2
+	case SUB:
+		return rs1 - rs2
+	case AND:
+		return rs1 & rs2
+	case OR:
+		return rs1 | rs2
+	case XOR:
+		return rs1 ^ rs2
+	case SLL:
+		return rs1 << (rs2 & 63)
+	case SRL:
+		return rs1 >> (rs2 & 63)
+	case SRA:
+		return uint64(int64(rs1) >> (rs2 & 63))
+	case SLTU:
+		if rs1 < rs2 {
+			return 1
+		}
+		return 0
+	case SLLI:
+		return rs1 << (uint(ins.Imm) & 63)
+	case SRLI:
+		return rs1 >> (uint(ins.Imm) & 63)
+	case SRAI:
+		return uint64(int64(rs1) >> (uint(ins.Imm) & 63))
+	case SLT:
+		if int64(rs1) < int64(rs2) {
+			return 1
+		}
+		return 0
+	case ADDI:
+		return rs1 + imm
+	case ANDI:
+		return rs1 & imm
+	case ORI:
+		return rs1 | imm
+	case XORI:
+		return rs1 ^ imm
+	case SLTI:
+		if int64(rs1) < ins.Imm {
+			return 1
+		}
+		return 0
+	case LUI:
+		return imm << 12
+	case MUL:
+		return rs1 * rs2
+	case DIV:
+		if rs2 == 0 {
+			return ^uint64(0)
+		}
+		return uint64(int64(rs1) / int64(rs2))
+	case REM:
+		if rs2 == 0 {
+			return rs1
+		}
+		return uint64(int64(rs1) % int64(rs2))
+	}
+	return 0
+}

@@ -1,0 +1,263 @@
+// Package monitor implements Sonar's runtime instrumentation: collection of
+// contention-critical microarchitectural states at monitorable contention
+// points (paper §5.1 and §6.1).
+//
+// For every contention point that survives the §5.2 risk filter, the monitor
+// watches each request's validity conjunction. On a rising edge inside the
+// monitoring window it records a request event and updates the two
+// reqsIntvl statistics the fuzzer feeds on:
+//
+//   - the minimum cycle interval between valid events of two *distinct*
+//     requests (0 means simultaneous arrival — a volatile contention);
+//   - the minimum interval between two *consecutive* valid events of the
+//     same request path (a persistent-contention precondition when the data
+//     fields map to the same storage unit).
+//
+// The monitoring window corresponds to the clock period during which
+// secret-dependent instructions are in flight (first one entering the ROB to
+// last one committing); only events inside it can belong to secret-dependent
+// contention (§6.1).
+package monitor
+
+import (
+	"math"
+
+	"sonar/internal/hdl"
+	"sonar/internal/trace"
+)
+
+// maxEventsPerPoint caps the per-point event log so long runs stay bounded;
+// the full event stream still contributes to the state digest hash.
+const maxEventsPerPoint = 64
+
+// Event is one valid-request arrival at a contention point.
+type Event struct {
+	// Cycle is the absolute cycle of the rising valid edge.
+	Cycle int64
+	// Req is the request index within the point (select-priority order).
+	Req int
+	// Data is the request data field value at arrival.
+	Data uint64
+}
+
+// pointState is the mutable per-point instrumentation state.
+type pointState struct {
+	point *trace.Point
+	// constPeer marks a point with at least one constantly-valid request
+	// (no validity indication): any valid arrival coincides with it, so the
+	// distinct-request interval is 0 the moment any request fires. This is
+	// the paper's §8.3.2 observation ① — contentions dominated by a single
+	// valid signal trigger at the outset of testing.
+	constPeer bool
+	// validNow tracks the current conjunction value per request.
+	validNow []bool
+	// lastCycle is the last valid-arrival cycle per request (-1 = never).
+	lastCycle []int64
+	// lastData is the data value at the last arrival per request.
+	lastData []uint64
+	// lastAnyCycle/lastAnyReq track the most recent arrival of any request.
+	lastAnyCycle int64
+	lastAnyReq   int
+
+	minIntvlDistinct int64
+	minIntvlSame     int64
+	events           []Event
+	eventCount       int
+	hash             uint64
+	samePathHit      bool // same request twice with similar data
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// SimilarityMask is ANDed over data fields when deciding whether two
+	// consecutive same-path requests target the same storage unit (e.g. a
+	// cacheline mask). Zero means exact match.
+	SimilarityMask uint64
+	// IgnoreFilter instruments every traced point, including the ones the
+	// §5.2 risk filter would drop — the no-filter ablation. Points without
+	// any valid-carrying request still never produce events (there is
+	// nothing to watch), but their monitors are carried.
+	IgnoreFilter bool
+}
+
+// Monitor instruments a set of contention points over a netlist.
+type Monitor struct {
+	net    *hdl.Netlist
+	cfg    Config
+	states []*pointState
+	window bool
+	// statements approximates the amount of monitoring logic inserted, the
+	// paper's "#New verilog" column in Table 2.
+	statements int
+}
+
+// New attaches instrumentation for every monitorable point in the analysis.
+// Watch hooks are installed on the request validity signals; they are cheap
+// when values do not change.
+func New(a *trace.Analysis, cfg Config) *Monitor {
+	if cfg.SimilarityMask == 0 {
+		cfg.SimilarityMask = ^uint64(0)
+	}
+	m := &Monitor{net: a.Netlist, cfg: cfg}
+	points := a.Monitored()
+	if cfg.IgnoreFilter {
+		points = a.Points
+	}
+	for _, p := range points {
+		st := &pointState{
+			point:     p,
+			validNow:  make([]bool, len(p.Requests)),
+			lastCycle: make([]int64, len(p.Requests)),
+			lastData:  make([]uint64, len(p.Requests)),
+		}
+		for ri := range p.Requests {
+			if !p.Requests[ri].HasValid() && !p.Requests[ri].Data.IsConst() {
+				st.constPeer = true
+			}
+		}
+		st.reset()
+		m.states = append(m.states, st)
+		for ri := range p.Requests {
+			req := &p.Requests[ri]
+			if !req.HasValid() {
+				continue
+			}
+			ri := ri
+			hook := func(_ *hdl.Signal, _, _ uint64, cycle int64) {
+				m.onValidChange(st, ri, cycle)
+			}
+			for _, v := range req.Valids {
+				v.Watch(hook)
+				m.statements++ // one sampling statement per watched signal
+			}
+			st.validNow[ri] = conj(req.Valids)
+		}
+		// Interval registers and comparators per point: the fixed part of
+		// the inserted monitoring logic.
+		m.statements += 2 + len(p.Requests)
+	}
+	return m
+}
+
+func (st *pointState) reset() {
+	for i := range st.lastCycle {
+		st.lastCycle[i] = -1
+		st.lastData[i] = 0
+	}
+	st.lastAnyCycle = -1
+	st.lastAnyReq = -1
+	st.minIntvlDistinct = math.MaxInt64
+	st.minIntvlSame = math.MaxInt64
+	st.events = st.events[:0]
+	st.eventCount = 0
+	st.hash = 1469598103934665603 // FNV-1a offset basis
+	st.samePathHit = false
+}
+
+// NumPoints returns the number of instrumented contention points.
+func (m *Monitor) NumPoints() int { return len(m.states) }
+
+// Statements returns the approximate number of inserted monitoring
+// statements (Table 2's generated-code proxy).
+func (m *Monitor) Statements() int { return m.statements }
+
+// SetWindow opens or closes the monitoring window. Events arriving while
+// the window is closed are ignored (paper §6.1).
+func (m *Monitor) SetWindow(open bool) { m.window = open }
+
+// WindowOpen reports whether the monitoring window is currently open.
+func (m *Monitor) WindowOpen() bool { return m.window }
+
+// Reset clears all collected state, keeping the instrumentation attached.
+// Call it between testcase executions.
+func (m *Monitor) Reset() {
+	m.window = false
+	for _, st := range m.states {
+		st.reset()
+		for ri := range st.point.Requests {
+			req := &st.point.Requests[ri]
+			if req.HasValid() {
+				st.validNow[ri] = conj(req.Valids)
+			}
+		}
+	}
+}
+
+// onValidChange re-evaluates the validity conjunction of request ri and
+// records an arrival on a rising edge.
+func (m *Monitor) onValidChange(st *pointState, ri int, cycle int64) {
+	req := &st.point.Requests[ri]
+	now := conj(req.Valids)
+	was := st.validNow[ri]
+	st.validNow[ri] = now
+	if !now || was {
+		return // not a rising edge
+	}
+	if !m.window {
+		return
+	}
+	m.record(st, ri, cycle, req.Data.Value())
+}
+
+func (m *Monitor) record(st *pointState, ri int, cycle int64, data uint64) {
+	// A constantly-valid co-request arrives every cycle: any event is a
+	// simultaneous distinct-request arrival.
+	if st.constPeer {
+		st.minIntvlDistinct = 0
+	}
+	// Distinct-request interval: against the most recent arrival of any
+	// other request.
+	if st.lastAnyCycle >= 0 && st.lastAnyReq != ri {
+		if d := cycle - st.lastAnyCycle; d < st.minIntvlDistinct {
+			st.minIntvlDistinct = d
+		}
+	}
+	// Same-cycle arrivals of two distinct requests: the other request may
+	// have been recorded this very cycle.
+	for rj := range st.lastCycle {
+		if rj != ri && st.lastCycle[rj] == cycle {
+			st.minIntvlDistinct = 0
+		}
+	}
+	// Same-path interval and data similarity.
+	if st.lastCycle[ri] >= 0 {
+		if d := cycle - st.lastCycle[ri]; d < st.minIntvlSame {
+			st.minIntvlSame = d
+		}
+		if data&m.cfg.SimilarityMask == st.lastData[ri]&m.cfg.SimilarityMask {
+			st.samePathHit = true
+		}
+	}
+	st.lastCycle[ri] = cycle
+	st.lastData[ri] = data
+	st.lastAnyCycle = cycle
+	st.lastAnyReq = ri
+
+	if len(st.events) < maxEventsPerPoint {
+		st.events = append(st.events, Event{Cycle: cycle, Req: ri, Data: data})
+	}
+	st.eventCount++
+	// FNV-1a over (req, data); cycle is folded in relative form by the
+	// snapshot, so identical behaviour at a different start cycle hashes
+	// identically there, while the running hash captures order and values.
+	st.hash = fnv1a(st.hash, uint64(ri))
+	st.hash = fnv1a(st.hash, data)
+}
+
+func fnv1a(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+func conj(valids []*hdl.Signal) bool {
+	for _, v := range valids {
+		if !v.Bool() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"sonar/internal/hdl"
+	"sonar/internal/trace"
+)
+
+// randomEventRig builds a 3-request point and replays a random valid-pulse
+// schedule, returning the snapshot plus the raw schedule for reference
+// checking.
+type schedule struct {
+	// events[i] = (cycle, reqIdx)
+	cycles []int64
+	reqs   []int
+}
+
+func replay(t *testing.T, sched schedule, data []uint64) *Snapshot {
+	t.Helper()
+	n := hdl.NewNetlist("R")
+	m := n.Module("dut")
+	valids := make([]*hdl.Signal, 3)
+	datas := make([]*hdl.Signal, 3)
+	for i := 0; i < 3; i++ {
+		valids[i] = m.Wire(portName(i)+"_valid", 1)
+		datas[i] = m.Wire(portName(i)+"_bits", 32)
+	}
+	sels := []*hdl.Signal{m.Wire("s0", 1), m.Wire("s1", 1)}
+	m.MuxTree("out", sels, datas)
+	a := trace.Analyze(n)
+	mon := New(a, Config{})
+	mon.SetWindow(true)
+	cur := int64(0)
+	for i := range sched.cycles {
+		for cur < sched.cycles[i] {
+			n.Step()
+			cur++
+		}
+		datas[sched.reqs[i]].Set(data[i%len(data)])
+		valids[sched.reqs[i]].Set(1)
+		valids[sched.reqs[i]].Set(0)
+	}
+	return mon.Snapshot()
+}
+
+func portName(i int) string {
+	return "io_req_" + string(rune('0'+i))
+}
+
+// referenceMinDistinct recomputes the minimum distinct-request interval by
+// brute force over all event pairs.
+func referenceMinDistinct(sched schedule) int64 {
+	best := NoInterval
+	for i := range sched.cycles {
+		for j := range sched.cycles {
+			if i == j || sched.reqs[i] == sched.reqs[j] {
+				continue
+			}
+			d := sched.cycles[i] - sched.cycles[j]
+			if d < 0 {
+				d = -d
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Property: the monitor's incrementally tracked minimum distinct-request
+// interval equals the brute-force minimum over all pairs, for random
+// schedules.
+func TestQuickMinIntervalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		nEvents := 1 + rng.Intn(10)
+		sched := schedule{}
+		cur := int64(0)
+		lastPerReq := map[int]int64{}
+		for i := 0; i < nEvents; i++ {
+			cur += int64(rng.Intn(4))
+			req := rng.Intn(3)
+			// A valid signal can only rise once per cycle per request.
+			if last, ok := lastPerReq[req]; ok && last == cur {
+				cur++
+			}
+			lastPerReq[req] = cur
+			sched.cycles = append(sched.cycles, cur)
+			sched.reqs = append(sched.reqs, req)
+		}
+		snap := replay(t, sched, []uint64{1, 2, 3})
+		got := snap.Points[0].MinIntvlDistinct
+		want := referenceMinDistinct(sched)
+		if got != want {
+			t.Fatalf("trial %d: monitor %d != reference %d (sched %+v)", trial, got, want, sched)
+		}
+		if (got == 0) != snap.Points[0].VolatileContention {
+			t.Fatalf("trial %d: VolatileContention inconsistent with interval %d", trial, got)
+		}
+		if snap.Points[0].EventCount != nEvents {
+			t.Fatalf("trial %d: events %d != %d", trial, snap.Points[0].EventCount, nEvents)
+		}
+	}
+}
+
+// Property: digests are order- and value-sensitive but deterministic.
+func TestQuickDigestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		sched := schedule{}
+		var cur int64
+		for i := 0; i < 5; i++ {
+			cur += 1 + int64(rng.Intn(3))
+			sched.cycles = append(sched.cycles, cur)
+			sched.reqs = append(sched.reqs, rng.Intn(3))
+		}
+		d1 := replay(t, sched, []uint64{4, 5}).Points[0].Digest
+		d2 := replay(t, sched, []uint64{4, 5}).Points[0].Digest
+		if d1 != d2 {
+			t.Fatalf("trial %d: digest not deterministic", trial)
+		}
+		d3 := replay(t, sched, []uint64{4, 6}).Points[0].Digest
+		if d1 == d3 {
+			t.Fatalf("trial %d: digest ignored data change", trial)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"math"
+
+	"sonar/internal/trace"
+)
+
+// PointSnapshot is the immutable per-point record of one testcase execution.
+type PointSnapshot struct {
+	// Point is the contention point this snapshot describes.
+	Point *trace.Point
+	// MinIntvlDistinct is the smallest observed cycle interval between
+	// valid events of two distinct requests; NoInterval if fewer than two
+	// distinct requests arrived.
+	MinIntvlDistinct int64
+	// MinIntvlSame is the smallest interval between consecutive valid
+	// events of the same request; NoInterval if no request arrived twice.
+	MinIntvlSame int64
+	// Events is the (capped) event log inside the monitoring window.
+	Events []Event
+	// EventCount is the total number of events, including beyond the cap.
+	EventCount int
+	// Digest summarizes the full ordered event stream (request indices and
+	// data values); differing digests under differing secrets indicate the
+	// contention states diverged (paper §7.2).
+	Digest uint64
+	// VolatileContention reports simultaneous distinct-request arrival
+	// (reqsIntvl of zero).
+	VolatileContention bool
+	// PersistentCandidate reports a same-path revisit with similar data —
+	// the persistent-contention precondition (paper §6.2.2).
+	PersistentCandidate bool
+}
+
+// NoInterval is the MinIntvl value when no qualifying pair was observed.
+const NoInterval int64 = math.MaxInt64
+
+// Snapshot is the full record of one instrumented execution.
+type Snapshot struct {
+	Points []PointSnapshot
+}
+
+// Snapshot captures the current collected state of all points.
+func (m *Monitor) Snapshot() *Snapshot {
+	s := &Snapshot{Points: make([]PointSnapshot, len(m.states))}
+	for i, st := range m.states {
+		events := make([]Event, len(st.events))
+		copy(events, st.events)
+		s.Points[i] = PointSnapshot{
+			Point:               st.point,
+			MinIntvlDistinct:    st.minIntvlDistinct,
+			MinIntvlSame:        st.minIntvlSame,
+			Events:              events,
+			EventCount:          st.eventCount,
+			Digest:              st.hash,
+			VolatileContention:  st.minIntvlDistinct == 0,
+			PersistentCandidate: st.samePathHit,
+		}
+	}
+	return s
+}
+
+// Triggered returns the IDs of points where any contention was triggered:
+// a volatile simultaneous arrival or a persistent same-path revisit.
+func (s *Snapshot) Triggered() []int {
+	var ids []int
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.VolatileContention || p.PersistentCandidate {
+			ids = append(ids, p.Point.ID)
+		}
+	}
+	return ids
+}
+
+// MinIntervals returns the distinct-request reqsIntvl per point ID — the
+// fuzzer's feedback signal (paper §6.2.1).
+func (s *Snapshot) MinIntervals() map[int]int64 {
+	m := make(map[int]int64, len(s.Points))
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.MinIntvlDistinct != NoInterval {
+			m[p.Point.ID] = p.MinIntvlDistinct
+		}
+	}
+	return m
+}
+
+// SameIntervals returns the consecutive same-path reqsIntvl per point ID —
+// the persistent-contention approach metric (paper §6.2.2). A point appears
+// only if some request path was observed at least twice; triggering is
+// reached when the data fields also match (PersistentCandidate).
+func (s *Snapshot) SameIntervals() map[int]int64 {
+	m := make(map[int]int64)
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.MinIntvlSame == NoInterval {
+			continue
+		}
+		v := p.MinIntvlSame
+		if p.PersistentCandidate {
+			v = 0 // same storage unit revisited: persistent contention
+		}
+		m[p.Point.ID] = v
+	}
+	return m
+}

@@ -1,0 +1,63 @@
+// Package nutshell builds the NutShell-like DUT: the smaller of the paper's
+// two out-of-order RISC-V cores (Table 1, second column). Its distinguishing
+// microarchitecture — a non-pipelined Multiply-Divide Unit shared by mul and
+// div (S13), a single-ported L1 ICache whose fetch reads contend with refill
+// writes (S14), and early in-pipeline exception detection that collapses the
+// Meltdown-style transient window (§8.5) — reproduces both NutShell side
+// channels of paper Table 3 and the paper's finding that their PoC accuracy
+// stays below 2%.
+package nutshell
+
+import "sonar/internal/uarch"
+
+// Arrays returns the structural array layout of the NutShell-like netlist.
+// NutShell's RTL favours wider selection trees over BOOM's (its naive 2:1
+// MUX count shrinks by 80.4% under bottom-up tracing, versus 71.5% for
+// BOOM — paper Figure 6), so fanins here are higher while entry counts are
+// smaller.
+func Arrays() []uarch.ArraySpec {
+	return []uarch.ArraySpec{
+		// Frontend: small fetch buffer (8 entries, fetch width 2), BTB+PHT
+		// predictor (Table 1), ICache metadata.
+		{Component: "frontend", Name: "fetchbuf", Entries: 8, Fanin: 2, Width: 40, Role: uarch.RoleFetchBuf},
+		{Component: "frontend", Name: "btb", Entries: 512, Fanin: 8, Width: 40, Role: uarch.RoleBTB},
+		{Component: "frontend", Name: "pht", Entries: 1024, Fanin: 8, Width: 2},
+		{Component: "frontend", Name: "icache_meta", Entries: 256, Fanin: 6, Width: 32},
+		// ROB: 32 entries, single-wide dispatch plus redirect port.
+		{Component: "rob", Name: "entries", Entries: 32, Fanin: 2, Width: 40, Role: uarch.RoleROB},
+		{Component: "rob", Name: "wb", Entries: 32, Fanin: 4, Width: 8},
+		// Execution complex: small issue window, 32 architectural registers.
+		{Component: "exe", Name: "issueq", Entries: 16, Fanin: 4, Width: 32, Role: uarch.RoleIssueQ},
+		{Component: "exe", Name: "regfile", Entries: 32, Fanin: 4, Width: 64, Role: uarch.RoleRegFile},
+		// LSU: 8-entry store queue, DCache metadata.
+		{Component: "lsu", Name: "lsq", Entries: 8, Fanin: 4, Width: 48},
+		{Component: "lsu", Name: "dcache_meta", Entries: 512, Fanin: 6, Width: 32},
+		// SimpleBus+AXI4 fabric and L2 metadata.
+		{Component: "tilelink", Name: "xbar", Entries: 64, Fanin: 8, Width: 64},
+		{Component: "tilelink", Name: "l2_meta", Entries: 512, Fanin: 6, Width: 32},
+	}
+}
+
+// Filters returns the per-component volume of risk-filterable points
+// (~36% of NutShell's traced points per Figure 7b).
+func Filters() []uarch.FilterSpec {
+	return []uarch.FilterSpec{
+		{Component: "frontend", Const: 200, NoValid: 400, Fanin: 6},
+		{Component: "lsu", Const: 120, NoValid: 300, Fanin: 4},
+		{Component: "exe", Const: 80, NoValid: 150, Fanin: 4},
+		{Component: "rob", Const: 40, NoValid: 80, Fanin: 4},
+		{Component: "tilelink", Const: 60, NoValid: 170, Fanin: 6},
+	}
+}
+
+// New builds a single-core NutShell-like SoC with the full structural
+// netlist.
+func New() *uarch.SoC {
+	return uarch.NewSoC(uarch.NutshellConfig(), 1, Arrays(), Filters())
+}
+
+// NewLite builds a single-core NutShell-like SoC without the bulk
+// structural arrays: same timing behaviour, far smaller netlist.
+func NewLite() *uarch.SoC {
+	return uarch.NewSoC(uarch.NutshellConfig(), 1, nil, nil)
+}

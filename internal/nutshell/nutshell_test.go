@@ -1,0 +1,56 @@
+package nutshell
+
+import (
+	"testing"
+
+	"sonar/internal/trace"
+)
+
+func TestNetlistScaleMatchesPaper(t *testing.T) {
+	s := New()
+	a := trace.Analyze(s.Net)
+	// Paper Figure 6: 23,618 naive MUXes -> 4,631 traced points.
+	if a.NaiveMuxCount < 18_000 || a.NaiveMuxCount > 35_000 {
+		t.Errorf("naive MUX count = %d, want paper-scale (~24k)", a.NaiveMuxCount)
+	}
+	if got := len(a.Points); got < 3_500 || got > 7_000 {
+		t.Errorf("traced points = %d, want ~4.6k", got)
+	}
+	red := 1 - float64(len(a.Points))/float64(a.NaiveMuxCount)
+	if red < 0.7 || red > 0.9 {
+		t.Errorf("tracing reduction = %.1f%%, paper reports 80.4%%", 100*red)
+	}
+}
+
+func TestChannelBearingStructures(t *testing.T) {
+	s := New()
+	// S13: the shared non-pipelined MDU entry point.
+	if _, ok := s.Net.Signal("exe.mdu.op_in"); !ok {
+		t.Error("MDU entry point missing (S13)")
+	}
+	// S14: the single-ported ICache access point.
+	if _, ok := s.Net.Signal("frontend.icache.array_access"); !ok {
+		t.Error("ICache access point missing (S14)")
+	}
+	cfg := s.Cores[0].Cfg
+	if cfg.PipelinedMul {
+		t.Error("NutShell must use the shared MDU, not a pipelined multiplier")
+	}
+	if !cfg.ICacheSinglePort {
+		t.Error("NutShell ICache must be single-ported")
+	}
+	if !cfg.EarlyExceptionDetect {
+		t.Error("NutShell must detect exceptions early (why its PoCs fail, §8.5)")
+	}
+}
+
+func TestNutshellSmallerThanBoom(t *testing.T) {
+	n := New()
+	a := trace.Analyze(n.Net)
+	// Deterministic sanity: filtering drops a larger share than on BOOM
+	// (paper: 35.7% vs 26.2%).
+	filtered := 1 - float64(len(a.Monitored()))/float64(len(a.Points))
+	if filtered < 0.25 || filtered > 0.5 {
+		t.Errorf("filtered share = %.1f%%, want ~36%%", 100*filtered)
+	}
+}

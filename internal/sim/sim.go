@@ -1,0 +1,217 @@
+// Package sim is a cycle-accurate levelized simulator for pure hdl netlists,
+// standing in for Verilator in the Sonar pipeline.
+//
+// It evaluates MUX-and-buffer datapaths: every 2:1 MUX computes
+// out = sel ? tval : fval, and every wire with declared sources but no MUX
+// driver acts as a reduction buffer (the OR of its sources — the composition
+// rule validity signals follow, paper Algorithm 1 line 7). Registers latch
+// their combinational input at the clock edge, so MUX- or buffer-driven
+// registers behave as flip-flops, not transparent latches.
+//
+// The cycle-accurate processor models in packages boom and nutshell do not
+// use this evaluator for their full behaviour; they drive their declared
+// netlist signals directly. The evaluator exists so standalone circuits —
+// FIRRTL snippets in tests, the Figure 3 example, instrumentation
+// self-checks — can be simulated without a processor around them.
+package sim
+
+import (
+	"fmt"
+
+	"sonar/internal/hdl"
+)
+
+// node is a combinational element: a mux, a primitive operation, or a
+// buffer wire.
+type node struct {
+	mux  *hdl.Mux    // non-nil for mux nodes
+	prim *hdl.Prim   // non-nil for primitive-operation nodes
+	buf  *hdl.Signal // non-nil for buffer nodes (OR of sources)
+}
+
+func (n node) out() *hdl.Signal {
+	switch {
+	case n.mux != nil:
+		return n.mux.Out
+	case n.prim != nil:
+		return n.prim.Out
+	}
+	return n.buf
+}
+
+func (n node) inputs() []*hdl.Signal {
+	switch {
+	case n.mux != nil:
+		return []*hdl.Signal{n.mux.Sel, n.mux.TVal, n.mux.FVal}
+	case n.prim != nil:
+		return n.prim.Args
+	}
+	return n.buf.Sources()
+}
+
+// Simulator evaluates a netlist cycle by cycle.
+type Simulator struct {
+	net   *hdl.Netlist
+	order []node                 // topological combinational order
+	next  map[*hdl.Signal]uint64 // register next-values computed this cycle
+	regs  []*hdl.Signal          // registers with combinational drivers
+}
+
+// New builds a simulator for the netlist. It returns an error if the
+// combinational logic contains a cycle that does not pass through a
+// register.
+func New(n *hdl.Netlist) (*Simulator, error) {
+	s := &Simulator{net: n, next: make(map[*hdl.Signal]uint64)}
+
+	var nodes []node
+	producer := make(map[*hdl.Signal]int) // signal -> index into nodes
+	for _, m := range n.Muxes() {
+		producer[m.Out] = len(nodes)
+		nodes = append(nodes, node{mux: m})
+	}
+	for _, p := range n.Prims() {
+		producer[p.Out] = len(nodes)
+		nodes = append(nodes, node{prim: p})
+	}
+	for _, sig := range n.Signals() {
+		if _, isMux := n.Driver(sig); isMux {
+			continue
+		}
+		if _, isPrim := n.PrimDriver(sig); isPrim {
+			continue
+		}
+		if len(sig.Sources()) == 0 || sig.IsConst() {
+			continue
+		}
+		producer[sig] = len(nodes)
+		nodes = append(nodes, node{buf: sig})
+	}
+
+	// Kahn topological sort. Edges run producer(input) -> node, except
+	// through registers: a register output is stable during combinational
+	// evaluation, so it breaks the dependency.
+	indeg := make([]int, len(nodes))
+	succ := make([][]int, len(nodes))
+	for i, nd := range nodes {
+		for _, in := range nd.inputs() {
+			if in.Kind() == hdl.Reg {
+				continue
+			}
+			if p, ok := producer[in]; ok {
+				succ[p] = append(succ[p], i)
+				indeg[i]++
+			}
+		}
+	}
+	queue := make([]int, 0, len(nodes))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, nodes[i])
+		for _, j := range succ[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(s.order) != len(nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("sim: combinational cycle through %s", nodes[i].out().Name())
+			}
+		}
+	}
+	for _, sig := range n.Signals() {
+		if sig.Kind() != hdl.Reg {
+			continue
+		}
+		if _, ok := producer[sig]; ok {
+			s.regs = append(s.regs, sig)
+		}
+	}
+	return s, nil
+}
+
+// Netlist returns the simulated netlist.
+func (s *Simulator) Netlist() *hdl.Netlist { return s.net }
+
+// Eval settles all combinational logic for the current cycle. Values
+// destined for registers are staged and only latched by Tick.
+func (s *Simulator) Eval() {
+	for _, nd := range s.order {
+		out := nd.out()
+		var v uint64
+		switch {
+		case nd.mux != nil:
+			if s.in(nd.mux.Sel) != 0 {
+				v = s.in(nd.mux.TVal)
+			} else {
+				v = s.in(nd.mux.FVal)
+			}
+		case nd.prim != nil:
+			v = nd.prim.Compute()
+		default:
+			for _, src := range nd.buf.Sources() {
+				v |= s.in(src)
+			}
+		}
+		if out.Kind() == hdl.Reg {
+			s.next[out] = v & out.Mask()
+		} else {
+			out.Set(v)
+		}
+	}
+}
+
+// in reads a combinational input value, honouring staged register values
+// only for non-register sources (registers present their latched value).
+func (s *Simulator) in(sig *hdl.Signal) uint64 {
+	return sig.Value()
+}
+
+// Tick settles combinational logic, latches registers, and advances the
+// clock one cycle.
+func (s *Simulator) Tick() {
+	s.Eval()
+	for _, r := range s.regs {
+		if v, ok := s.next[r]; ok {
+			r.Set(v)
+		}
+	}
+	s.net.Step()
+}
+
+// Run executes n clock cycles.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Tick()
+	}
+}
+
+// Poke sets a signal by name.
+func (s *Simulator) Poke(name string, v uint64) error {
+	sig, ok := s.net.Signal(name)
+	if !ok {
+		return fmt.Errorf("sim: poke: no signal %q", name)
+	}
+	if sig.IsConst() {
+		return fmt.Errorf("sim: poke: %q is a constant", name)
+	}
+	sig.Set(v)
+	return nil
+}
+
+// Peek reads a signal by name.
+func (s *Simulator) Peek(name string) (uint64, error) {
+	sig, ok := s.net.Signal(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: peek: no signal %q", name)
+	}
+	return sig.Value(), nil
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sonar/internal/hdl"
+)
+
+// VCD streams value changes of selected netlist signals as a standard
+// Value Change Dump, viewable in GTKWave and friends. It works for both
+// the levelized simulator and the behavioural processor models: changes
+// are captured through hdl watch hooks, so any code path that drives the
+// netlist shows up in the waveform.
+type VCD struct {
+	w         io.Writer
+	ids       map[*hdl.Signal]string
+	lastCycle int64
+	headered  bool
+	err       error
+}
+
+// NewVCD attaches a VCD dumper for the given signals (all netlist signals
+// if nil). The header is written immediately; value changes follow as the
+// signals change. Call Close to flush the final timestamp.
+func NewVCD(w io.Writer, net *hdl.Netlist, signals []*hdl.Signal) *VCD {
+	if signals == nil {
+		signals = net.Signals()
+	}
+	v := &VCD{w: w, ids: make(map[*hdl.Signal]string, len(signals)), lastCycle: -1}
+	v.header(net, signals)
+	for _, s := range signals {
+		if s.IsConst() {
+			continue
+		}
+		s.Watch(func(sig *hdl.Signal, _, new uint64, cycle int64) {
+			v.change(sig, new, cycle)
+		})
+	}
+	return v
+}
+
+// vcdID encodes an index as a VCD identifier (printable ASCII 33..126).
+func vcdID(i int) string {
+	var b []byte
+	for {
+		b = append(b, byte(33+i%94))
+		i /= 94
+		if i == 0 {
+			break
+		}
+	}
+	return string(b)
+}
+
+func (v *VCD) header(net *hdl.Netlist, signals []*hdl.Signal) {
+	fmt.Fprintf(v.w, "$version sonar %s $end\n$timescale 1ns $end\n", net.Name())
+	// Group by module path.
+	byMod := map[string][]*hdl.Signal{}
+	var paths []string
+	for _, s := range signals {
+		p := s.ModulePath()
+		if _, ok := byMod[p]; !ok {
+			paths = append(paths, p)
+		}
+		byMod[p] = append(byMod[p], s)
+	}
+	sort.Strings(paths)
+	idx := 0
+	for _, p := range paths {
+		scope := strings.ReplaceAll(p, ".", "_")
+		if scope == "" {
+			scope = net.Name()
+		}
+		fmt.Fprintf(v.w, "$scope module %s $end\n", scope)
+		for _, s := range byMod[p] {
+			if s.IsConst() {
+				continue
+			}
+			id := vcdID(idx)
+			idx++
+			v.ids[s] = id
+			fmt.Fprintf(v.w, "$var wire %d %s %s $end\n", s.Width(), id, s.Local())
+		}
+		fmt.Fprintf(v.w, "$upscope $end\n")
+	}
+	fmt.Fprintf(v.w, "$enddefinitions $end\n$dumpvars\n")
+	for _, s := range signals {
+		if id, ok := v.ids[s]; ok {
+			v.emit(s.Width(), s.Value(), id)
+		}
+	}
+	fmt.Fprintf(v.w, "$end\n")
+	v.headered = true
+}
+
+func (v *VCD) change(s *hdl.Signal, val uint64, cycle int64) {
+	if v.err != nil {
+		return
+	}
+	id, ok := v.ids[s]
+	if !ok {
+		return
+	}
+	if cycle != v.lastCycle {
+		if _, err := fmt.Fprintf(v.w, "#%d\n", cycle); err != nil {
+			v.err = err
+			return
+		}
+		v.lastCycle = cycle
+	}
+	v.emit(s.Width(), val, id)
+}
+
+func (v *VCD) emit(width int, val uint64, id string) {
+	if v.err != nil {
+		return
+	}
+	var err error
+	if width == 1 {
+		_, err = fmt.Fprintf(v.w, "%d%s\n", val&1, id)
+	} else {
+		_, err = fmt.Fprintf(v.w, "b%s %s\n", strconv.FormatUint(val, 2), id)
+	}
+	if err != nil {
+		v.err = err
+	}
+}
+
+// Close writes the final timestamp and returns any accumulated write error.
+// The watch hooks stay attached; use the owning netlist's ClearWatchers per
+// signal to detach.
+func (v *VCD) Close(finalCycle int64) error {
+	if v.err == nil && finalCycle > v.lastCycle {
+		_, v.err = fmt.Fprintf(v.w, "#%d\n", finalCycle)
+	}
+	return v.err
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"sonar/internal/hdl"
+)
+
+func TestVCDDump(t *testing.T) {
+	n := mustParse(t, `
+circuit C :
+  module C :
+    input en : UInt<1>
+    reg r : UInt<8>
+    node next = add(r, UInt<8>(1))
+    r <= mux(en, next, r)
+`)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	en, _ := n.Signal("C.en")
+	reg, _ := n.Signal("C.r")
+	v := NewVCD(&buf, n, []*hdl.Signal{en, reg})
+	if err := s.Poke("C.en", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	if err := v.Close(n.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module C $end",
+		"$var wire 1", "$var wire 8", "$enddefinitions",
+		"$dumpvars", "#0", "#3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The counter must show increasing binary values.
+	for _, want := range []string{"b1 ", "b10 ", "b11 "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing counter value %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDAllSignalsAndIDs(t *testing.T) {
+	n := mustParse(t, `
+circuit C :
+  module C :
+    input a : UInt<1>
+    input b : UInt<4>
+    output o : UInt<4>
+    o <= mux(a, b, UInt<4>(0))
+`)
+	var buf strings.Builder
+	v := NewVCD(&buf, n, nil) // all signals
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("C.b", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("C.a", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	if err := v.Close(n.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "b1001 ") {
+		t.Errorf("mux output change missing:\n%s", out)
+	}
+	// Constants are excluded from the dump.
+	if strings.Contains(out, "_c1") {
+		t.Errorf("constant dumped:\n%s", out)
+	}
+}
+
+func TestVCDIdentifiers(t *testing.T) {
+	if vcdID(0) != "!" {
+		t.Errorf("vcdID(0) = %q", vcdID(0))
+	}
+	if vcdID(93) != "~" {
+		t.Errorf("vcdID(93) = %q", vcdID(93))
+	}
+	if got := vcdID(94); len(got) != 2 {
+		t.Errorf("vcdID(94) = %q, want 2 chars", got)
+	}
+	// IDs must be unique over a large range.
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"sonar/internal/hdl"
+)
+
+// DOT renders a contention point's MUX cascade tree in Graphviz DOT form:
+// the tree root, interior 2:1 MUXes, select signals, and leaf requests with
+// their validity. Useful when debugging a reported side channel — the
+// picture shows exactly which requests can collide at the point.
+func (p *Point) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph point%d {\n", p.ID)
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontname=monospace fontsize=10];\n")
+	fmt.Fprintf(&b, "  out [label=%q shape=doubleoctagon];\n", p.Out.Name())
+
+	muxID := make(map[*hdl.Mux]int, len(p.Muxes))
+	for i, m := range p.Muxes {
+		muxID[m] = i
+		fmt.Fprintf(&b, "  m%d [label=\"mux\\nsel: %s\" shape=invtrapezium];\n", i, m.Sel.Local())
+	}
+	fmt.Fprintf(&b, "  m0 -> out;\n")
+
+	byOut := make(map[*hdl.Signal]*hdl.Mux, len(p.Muxes))
+	for _, m := range p.Muxes {
+		byOut[m.Out] = m
+	}
+
+	// Walk the tree exactly like the analysis (TVal before FVal), so leaf
+	// order matches p.Requests.
+	leaf := 0
+	var walk func(m *hdl.Mux)
+	walk = func(m *hdl.Mux) {
+		for _, in := range []struct {
+			sig  *hdl.Signal
+			port string
+		}{{m.TVal, "t"}, {m.FVal, "f"}} {
+			if child, ok := byOut[in.sig]; ok && muxID[child] > muxID[m] {
+				fmt.Fprintf(&b, "  m%d -> m%d [label=%q];\n", muxID[child], muxID[m], in.port)
+				walk(child)
+				continue
+			}
+			r := p.Requests[leaf]
+			label := r.Data.Name()
+			shape := "box"
+			switch {
+			case r.Data.IsConst():
+				label = fmt.Sprintf("const %d", r.Data.Value())
+				shape = "plaintext"
+			case !r.HasValid():
+				label += "\\n(constantly valid)"
+				shape = "box3d"
+			default:
+				valids := make([]string, len(r.Valids))
+				for k, v := range r.Valids {
+					valids[k] = v.Local()
+				}
+				label += "\\nvalid: " + strings.Join(valids, " & ")
+			}
+			fmt.Fprintf(&b, "  r%d [label=%q shape=%s];\n", leaf, label, shape)
+			fmt.Fprintf(&b, "  r%d -> m%d [label=%q];\n", leaf, muxID[m], in.port)
+			leaf++
+		}
+	}
+	walk(p.Root)
+	b.WriteString("}\n")
+	return b.String()
+}

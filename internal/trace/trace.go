@@ -1,0 +1,177 @@
+// Package trace implements Sonar's contention-critical state identification
+// (paper §5): locating contention points via bottom-up MUX tracing,
+// determining request validity (Algorithm 1), and filtering out states
+// without side-channel risk (§5.2).
+package trace
+
+import (
+	"strings"
+
+	"sonar/internal/hdl"
+)
+
+// Request is one leaf of an n:1 MUX cascade tree — a request arriving at a
+// contention point.
+type Request struct {
+	// Data is the request's data field (the MUX leaf signal).
+	Data *hdl.Signal
+	// Valids are the signals whose conjunction indicates the request is
+	// valid. Empty means no validity could be determined: the request is
+	// considered constantly valid (paper Algorithm 1, final fallback).
+	// A single entry is a directly matched valid signal; multiple entries
+	// are source-derived (their bitwise AND is the validity).
+	Valids []*hdl.Signal
+	// SelfValid reports that the request data signal is itself a 1-bit
+	// valid-style signal (the "single valid signal dominance" case the
+	// paper observes in Figure 9).
+	SelfValid bool
+}
+
+// HasValid reports whether the request carries any validity indication.
+func (r *Request) HasValid() bool { return len(r.Valids) > 0 }
+
+// Derived reports whether validity was derived by tracing data sources
+// rather than matched directly by prefix.
+func (r *Request) Derived() bool { return len(r.Valids) > 1 }
+
+// Point is a contention point: an n:1 selection reconstructed from a
+// cascade of 2:1 MUXes via bottom-up tracing (paper §5.1, Figure 3).
+type Point struct {
+	// ID is the index of the point within its analysis.
+	ID int
+	// Root is the topmost 2:1 MUX; Out is its output signal.
+	Root *hdl.Mux
+	// Out is the contention point output.
+	Out *hdl.Signal
+	// Muxes are all 2:1 MUXes in the cascade tree.
+	Muxes []*hdl.Mux
+	// Requests are the tree leaves in select-priority order.
+	Requests []Request
+	// Selects are the select signals of all MUXes in the tree.
+	Selects []*hdl.Signal
+	// Component is the top-level module segment owning the point, used for
+	// distribution reports (paper Figure 7).
+	Component string
+}
+
+// AllConstRequests reports whether every request at the point is a literal
+// constant (paper §5.2: such points never expose timing differences).
+func (p *Point) AllConstRequests() bool {
+	for i := range p.Requests {
+		if !p.Requests[i].Data.IsConst() {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyValid reports whether at least one request carries a validity
+// indication. If none does, all requests are considered valid on every
+// cycle and reqsIntvl is the constant 0 — dynamic monitoring is meaningless
+// (paper §5.2).
+func (p *Point) AnyValid() bool {
+	for i := range p.Requests {
+		if p.Requests[i].HasValid() {
+			return true
+		}
+	}
+	return false
+}
+
+// Monitorable reports whether the point survives the §5.2 risk filter and
+// should receive reqsIntvl instrumentation.
+func (p *Point) Monitorable() bool {
+	return !p.AllConstRequests() && p.AnyValid()
+}
+
+// Fanin returns the number of requests (the n of the n:1 selection).
+func (p *Point) Fanin() int { return len(p.Requests) }
+
+// Analysis is the result of contention-point identification on a netlist.
+type Analysis struct {
+	// Netlist is the analyzed design.
+	Netlist *hdl.Netlist
+	// Points are the identified contention points (MUX cascade roots).
+	Points []*Point
+	// NaiveMuxCount is the total number of 2:1 MUXes — what the "2:1
+	// MUX-based" strategy the paper compares against would report
+	// (Figure 6).
+	NaiveMuxCount int
+}
+
+// Monitored returns the points that survive the §5.2 filter.
+func (a *Analysis) Monitored() []*Point {
+	var out []*Point
+	for _, p := range a.Points {
+		if p.Monitorable() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByComponent returns contention-point counts per top-level component,
+// before and after filtering (paper Figure 7).
+func (a *Analysis) ByComponent() map[string][2]int {
+	m := make(map[string][2]int)
+	for _, p := range a.Points {
+		c := m[p.Component]
+		c[0]++
+		if p.Monitorable() {
+			c[1]++
+		}
+		m[p.Component] = c
+	}
+	return m
+}
+
+// Analyze identifies all contention points in a netlist by bottom-up MUX
+// tracing and determines request validity for every leaf. Its cost is
+// linear in the number of MUXes (each MUX belongs to a bounded number of
+// cascade trees), the property the paper contrasts with SpecDoctor's O(n²)
+// instrumentation (§8.3.4).
+func Analyze(n *hdl.Netlist) *Analysis {
+	a := &Analysis{Netlist: n, NaiveMuxCount: n.NumMuxes()}
+	a.Points = make([]*Point, 0, n.NumMuxes()/2)
+	v := newValidity(n)
+	for _, m := range n.Muxes() {
+		if n.IsMuxDataInput(m.Out) {
+			continue // interior node of some cascade, not a root
+		}
+		p := &Point{
+			ID:        len(a.Points),
+			Root:      m,
+			Out:       m.Out,
+			Component: component(m.ModulePath()),
+		}
+		collect(n, m, p, v)
+		a.Points = append(a.Points, p)
+	}
+	return a
+}
+
+// collect walks a cascade tree from mux m, appending interior muxes,
+// selects, and leaf requests to p. Leaves are visited TVal before FVal so
+// Requests end up in select-priority order.
+func collect(n *hdl.Netlist, m *hdl.Mux, p *Point, v *validity) {
+	p.Muxes = append(p.Muxes, m)
+	p.Selects = append(p.Selects, m.Sel)
+	for _, in := range []*hdl.Signal{m.TVal, m.FVal} {
+		if child, ok := n.Driver(in); ok {
+			collect(n, child, p, v)
+			continue
+		}
+		p.Requests = append(p.Requests, v.request(in))
+	}
+}
+
+// component extracts the top-level module segment from a module path.
+func component(path string) string {
+	if path == "" {
+		return "(top)"
+	}
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

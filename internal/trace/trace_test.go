@@ -1,0 +1,357 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sonar/internal/firrtl"
+	"sonar/internal/hdl"
+)
+
+// Figure 3 of the paper: bottom-up tracing over the ldq_stq_idx cascade
+// identifies all requests, select signals, and the output.
+func TestAnalyzeFigure3(t *testing.T) {
+	n, err := firrtl.Parse(`
+circuit Lsu :
+  module Lsu :
+    input io_ldq_valid : UInt<1>
+    input io_ldq_bits_idx : UInt<5>
+    input io_stq_valid : UInt<1>
+    input io_stq_bits_idx : UInt<5>
+    input io_fwd_valid : UInt<1>
+    input io_fwd_bits_idx : UInt<5>
+    input sel_ldq : UInt<1>
+    input sel_stq : UInt<1>
+    output ldq_stq_idx : UInt<5>
+    ldq_stq_idx <= mux(sel_ldq, io_ldq_bits_idx, mux(sel_stq, io_stq_bits_idx, io_fwd_bits_idx))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(n)
+	if a.NaiveMuxCount != 2 {
+		t.Errorf("NaiveMuxCount = %d, want 2", a.NaiveMuxCount)
+	}
+	if len(a.Points) != 1 {
+		t.Fatalf("points = %d, want 1 (one cascade, not two)", len(a.Points))
+	}
+	p := a.Points[0]
+	if p.Out.Local() != "ldq_stq_idx" {
+		t.Errorf("Out = %q, want ldq_stq_idx", p.Out.Local())
+	}
+	if p.Fanin() != 3 {
+		t.Fatalf("Fanin = %d, want 3", p.Fanin())
+	}
+	wantReqs := []string{"io_ldq_bits_idx", "io_stq_bits_idx", "io_fwd_bits_idx"}
+	wantValids := []string{"io_ldq_valid", "io_stq_valid", "io_fwd_valid"}
+	for i, r := range p.Requests {
+		if r.Data.Local() != wantReqs[i] {
+			t.Errorf("request[%d] = %q, want %q", i, r.Data.Local(), wantReqs[i])
+		}
+		if len(r.Valids) != 1 || r.Valids[0].Local() != wantValids[i] {
+			t.Errorf("request[%d] valids = %v, want [%s]", i, r.Valids, wantValids[i])
+		}
+		if r.Derived() {
+			t.Errorf("request[%d] should be direct prefix match, not derived", i)
+		}
+	}
+	if len(p.Selects) != 2 {
+		t.Errorf("selects = %d, want 2", len(p.Selects))
+	}
+	if p.Selects[0].Local() != "sel_ldq" || p.Selects[1].Local() != "sel_stq" {
+		t.Errorf("selects = [%s %s], want [sel_ldq sel_stq]", p.Selects[0].Local(), p.Selects[1].Local())
+	}
+	if len(p.Muxes) != 2 {
+		t.Errorf("tree muxes = %d, want 2", len(p.Muxes))
+	}
+	if !p.Monitorable() {
+		t.Error("point with valid requests must be monitorable")
+	}
+}
+
+// The naive 2:1-MUX strategy overcounts cascades; tracing collapses them
+// (paper Figure 6).
+func TestTracingReducesPointCount(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("arb")
+	const fanin = 8
+	ins := make([]*hdl.Signal, fanin)
+	sels := make([]*hdl.Signal, fanin-1)
+	for i := range ins {
+		ins[i] = m.Wire(sig("req", i, "bits"), 8)
+		m.Wire(sig("req", i, "valid"), 1)
+	}
+	for i := range sels {
+		sels[i] = m.Wire(sig("gnt", i, ""), 1)
+	}
+	m.MuxTree("out", sels, ins)
+	a := Analyze(n)
+	if a.NaiveMuxCount != fanin-1 {
+		t.Errorf("NaiveMuxCount = %d, want %d", a.NaiveMuxCount, fanin-1)
+	}
+	if len(a.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(a.Points))
+	}
+	if a.Points[0].Fanin() != fanin {
+		t.Errorf("fanin = %d, want %d", a.Points[0].Fanin(), fanin)
+	}
+	for i, r := range a.Points[0].Requests {
+		if len(r.Valids) != 1 {
+			t.Errorf("request %d (%s): no prefix valid found", i, r.Data.Name())
+		}
+	}
+}
+
+func sig(base string, i int, field string) string {
+	name := base + "_" + string(rune('0'+i))
+	if field != "" {
+		name += "_" + field
+	}
+	return name
+}
+
+func TestSelfValidRequests(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("rob")
+	sel := m.Wire("sel", 1)
+	a := m.Wire("io_enq_valid", 1)
+	b := m.Wire("io_deq_valid", 1)
+	m.Mux("busy", sel, a, b)
+	an := Analyze(n)
+	if len(an.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(an.Points))
+	}
+	for i, r := range an.Points[0].Requests {
+		if !r.SelfValid {
+			t.Errorf("request %d not detected as self-valid", i)
+		}
+		if len(r.Valids) != 1 || r.Valids[0] != r.Data {
+			t.Errorf("request %d: valid should be the request itself", i)
+		}
+	}
+}
+
+func TestDerivedValidityViaSources(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("lsu")
+	aValid := m.Wire("io_a_valid", 1)
+	aData := m.Wire("io_a_bits", 8)
+	bValid := m.Wire("io_b_valid", 1)
+	bData := m.Wire("io_b_bits", 8)
+	// sum has no same-prefix valid, but its sources do: validity is the
+	// AND of io_a_valid and io_b_valid (Algorithm 1 lines 4-7).
+	sum := m.Wire("sum", 8)
+	sum.AddSource(aData)
+	sum.AddSource(bData)
+	other := m.Wire("io_c_bits", 8)
+	m.Wire("io_c_valid", 1)
+	sel := m.Wire("sel", 1)
+	m.Mux("out", sel, sum, other)
+
+	a := Analyze(n)
+	p := a.Points[0]
+	r0 := p.Requests[0]
+	if !r0.Derived() {
+		t.Fatalf("sum validity should be derived, got valids=%v", r0.Valids)
+	}
+	got := map[string]bool{}
+	for _, v := range r0.Valids {
+		got[v.Local()] = true
+	}
+	if !got["io_a_valid"] || !got["io_b_valid"] || len(r0.Valids) != 2 {
+		t.Errorf("derived valids = %v, want {io_a_valid, io_b_valid}", got)
+	}
+	_ = aValid
+	_ = bValid
+}
+
+func TestUndeterminableSourceMakesConstantValid(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("x")
+	aData := m.Wire("io_a_bits", 8)
+	m.Wire("io_a_valid", 1)
+	orphan := m.Wire("orphan", 8) // no valid, no sources
+	mix := m.Wire("mix", 8)
+	mix.AddSource(aData)
+	mix.AddSource(orphan)
+	sel := m.Wire("sel", 1)
+	c := m.Const("k", 8, 0)
+	m.Mux("out", sel, mix, c)
+	a := Analyze(n)
+	r := a.Points[0].Requests[0]
+	if r.HasValid() {
+		t.Errorf("mix should be constantly valid (orphan source), got %v", r.Valids)
+	}
+}
+
+// §5.2: a 2:1 MUX selecting between two constants has no side-channel risk.
+func TestConstantPointFiltered(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("cfg")
+	sel := m.Wire("sel", 1)
+	k1 := m.Const("k1", 8, 1)
+	k2 := m.Const("k2", 8, 2)
+	m.Mux("out", sel, k1, k2)
+	a := Analyze(n)
+	if len(a.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(a.Points))
+	}
+	p := a.Points[0]
+	if !p.AllConstRequests() {
+		t.Error("AllConstRequests = false, want true")
+	}
+	if p.Monitorable() {
+		t.Error("constant point must be filtered out")
+	}
+	if len(a.Monitored()) != 0 {
+		t.Error("Monitored() should be empty")
+	}
+}
+
+// §5.2: if no request has a valid signal, reqsIntvl is constantly 0 and
+// monitoring is meaningless.
+func TestNoValidPointFiltered(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("dp")
+	sel := m.Wire("sel", 1)
+	a1 := m.Wire("alpha", 8) // no _valid anywhere, no sources
+	a2 := m.Wire("beta", 8)
+	m.Mux("out", sel, a1, a2)
+	a := Analyze(n)
+	p := a.Points[0]
+	if p.AllConstRequests() {
+		t.Error("requests are wires, not constants")
+	}
+	if p.AnyValid() {
+		t.Error("no request should have a valid")
+	}
+	if p.Monitorable() {
+		t.Error("point without valids must be filtered out")
+	}
+}
+
+func TestByComponent(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	build := func(mod string, withValid bool) {
+		m := n.Module(mod)
+		sel := m.Wire("sel", 1)
+		a := m.Wire("io_a_bits", 8)
+		b := m.Wire("io_b_bits", 8)
+		if withValid {
+			m.Wire("io_a_valid", 1)
+			m.Wire("io_b_valid", 1)
+		}
+		m.Mux("out", sel, a, b)
+	}
+	build("lsu.ldq", true)
+	build("lsu.stq", false)
+	build("rob", true)
+	a := Analyze(n)
+	dist := a.ByComponent()
+	if c := dist["lsu"]; c[0] != 2 || c[1] != 1 {
+		t.Errorf("lsu = %v, want [2 1]", c)
+	}
+	if c := dist["rob"]; c[0] != 1 || c[1] != 1 {
+		t.Errorf("rob = %v, want [1 1]", c)
+	}
+}
+
+func TestSourceCycleDoesNotHang(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("x")
+	a := m.Wire("a_bits", 8)
+	b := m.Wire("b_bits", 8)
+	a.AddSource(b)
+	b.AddSource(a)
+	sel := m.Wire("sel", 1)
+	k := m.Const("k", 8, 0)
+	m.Mux("out", sel, a, k)
+	an := Analyze(n) // must terminate
+	if len(an.Points) != 1 {
+		t.Fatalf("points = %d", len(an.Points))
+	}
+}
+
+func TestSharedSubtreeAppearsInBothPoints(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("x")
+	sel := m.Wire("sel", 1)
+	a := m.Wire("io_a_bits", 8)
+	m.Wire("io_a_valid", 1)
+	b := m.Wire("io_b_bits", 8)
+	m.Wire("io_b_valid", 1)
+	inner := m.Mux("inner", sel, a, b)
+	c := m.Wire("io_c_bits", 8)
+	m.Wire("io_c_valid", 1)
+	d := m.Wire("io_d_bits", 8)
+	m.Wire("io_d_valid", 1)
+	s2 := m.Wire("sel2", 1)
+	s3 := m.Wire("sel3", 1)
+	m.Mux("out1", s2, inner.Out, c)
+	m.Mux("out2", s3, inner.Out, d)
+	an := Analyze(n)
+	if len(an.Points) != 2 {
+		t.Fatalf("points = %d, want 2 roots", len(an.Points))
+	}
+	for _, p := range an.Points {
+		if p.Fanin() != 3 {
+			t.Errorf("point %s fanin = %d, want 3 (shared subtree included)", p.Out.Name(), p.Fanin())
+		}
+	}
+}
+
+func TestComponentOfTopLevelSignals(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	sel := n.Wire("sel", 1)
+	a := n.Wire("a", 8)
+	b := n.Wire("b", 8)
+	out := n.Wire("out", 8)
+	n.Mux(out, sel, a, b)
+	an := Analyze(n)
+	if an.Points[0].Component != "(top)" {
+		t.Errorf("component = %q, want (top)", an.Points[0].Component)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	n := hdl.NewNetlist("D")
+	m := n.Module("arb")
+	ins := make([]*hdl.Signal, 4)
+	sels := make([]*hdl.Signal, 3)
+	for i := range ins {
+		ins[i] = m.Wire(sig("io_req", i, "bits"), 8)
+		m.Wire(sig("io_req", i, "valid"), 1)
+	}
+	for i := range sels {
+		sels[i] = m.Wire(sig("gnt", i, ""), 1)
+	}
+	m.MuxTree("out", sels, ins)
+	a := Analyze(n)
+	p := a.Points[0]
+	dot := p.DOT()
+	for _, want := range []string{
+		"digraph point0", "doubleoctagon", "arb.out",
+		"io_req_0_bits", "io_req_3_bits", "io_req_0_valid",
+		"m0 -> out",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Leaf order must match the request order: request 0 (priority) first.
+	if strings.Index(dot, "io_req_0_bits") > strings.Index(dot, "io_req_3_bits") {
+		t.Error("leaf emission order does not match request priority order")
+	}
+	// Constants and constantly-valid leaves render specially.
+	n2 := hdl.NewNetlist("K")
+	m2 := n2.Module("cfg")
+	s2 := m2.Wire("sel", 1)
+	cv := m2.Wire("io_a_bits", 8)
+	m2.Wire("io_a_valid", 1)
+	k := m2.Const("tie", 8, 42)
+	m2.Mux("o", s2, cv, k)
+	dot2 := Analyze(n2).Points[0].DOT()
+	if !strings.Contains(dot2, "const 42") {
+		t.Errorf("constant leaf not rendered:\n%s", dot2)
+	}
+}

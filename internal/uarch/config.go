@@ -1,0 +1,151 @@
+// Package uarch provides the shared microarchitecture building blocks the
+// BOOM-like and NutShell-like DUT models are assembled from: a flat memory,
+// L1 caches with MSHRs and line buffers, a TileLink-style D-channel, the
+// execution units, and the out-of-order core engine itself.
+//
+// The engine is a cycle-accurate behavioural model, not gate-level RTL. Its
+// arbitration datapaths — the places where Sonar's contention side channels
+// live — are declared as MUX structures in an hdl netlist and driven every
+// cycle, so the tracing/filtering/instrumentation pipeline observes them
+// exactly as it would observe FIRRTL-elaborated RTL (see DESIGN.md,
+// "Substitutions").
+package uarch
+
+// Config parameterizes a core (paper Table 1).
+type Config struct {
+	// Name labels the core ("boom", "nutshell").
+	Name string
+	// FetchWidth is the number of instructions fetched per cycle.
+	FetchWidth int
+	// FetchBufEntries is the fetch buffer capacity.
+	FetchBufEntries int
+	// CoreWidth is the dispatch/commit width.
+	CoreWidth int
+	// ROBEntries is the reorder buffer capacity.
+	ROBEntries int
+	// LDQEntries and STQEntries bound in-flight loads and stores.
+	LDQEntries int
+	STQEntries int
+	// NumALUs is the number of single-cycle integer units.
+	NumALUs int
+	// PipelinedMul selects a dedicated pipelined multiplier (BOOM). When
+	// false, multiply and divide share the non-pipelined MDU (NutShell,
+	// side channel S13).
+	PipelinedMul bool
+	// MulLatency is the multiplier latency in cycles.
+	MulLatency int
+	// DivLatencyBase and DivLatencyPerBit give the iterative divider
+	// latency: base + bits(dividend) cycles.
+	DivLatencyBase   int
+	DivLatencyPerBit int
+	// SharedWBPort enables the shared execution-unit response port between
+	// the last ALU, the multiplier, and the divider, with ALU priority
+	// (side channel S8).
+	SharedWBPort bool
+
+	// ICacheSets/Ways and DCacheSets/Ways size the L1 caches; lines are 64
+	// bytes.
+	ICacheSets int
+	ICacheWays int
+	DCacheSets int
+	DCacheWays int
+	// CacheHitLatency is the L1 hit latency in cycles.
+	CacheHitLatency int
+	// NumMSHRs is the number of L1 DCache miss-status holding registers
+	// (side channel S5 needs at least 2).
+	NumMSHRs int
+	// LineBuffers enables the single-ported read/write line buffers between
+	// the L1 DCache and the bus (side channels S6/S7).
+	LineBuffers bool
+	// ICacheSinglePort makes the L1 ICache share one port between fetch
+	// reads and refill writes (NutShell, side channel S14).
+	ICacheSinglePort bool
+
+	// L2Latency is the L2 access latency seen by an L1 miss before the
+	// D-channel transfer starts.
+	L2Latency int
+	// ReadBeats is the number of cycles a cacheline read occupies the
+	// TileLink D-channel; writebacks occupy it for one cycle (paper §8.4.A).
+	ReadBeats int
+
+	// EarlyExceptionDetect flushes the pipeline as soon as a fault is
+	// detected at execute rather than at commit. NutShell behaves this way,
+	// which is why its Meltdown-style PoCs achieve <2% accuracy (§8.5).
+	EarlyExceptionDetect bool
+
+	// TimerGranularity coarsens the cycle counter read by rdcycle to
+	// multiples of this value (0 or 1 = precise). Restricting timer
+	// precision is the paper's first mitigation (§8.6, Timewarp-style).
+	TimerGranularity int64
+	// PartitionedDChannel splits the TileLink D-channel into per-requester
+	// virtual lanes, eliminating cross-requester contention — the
+	// resource-partitioning mitigation of §8.6 (SecSMT-style). Same-lane
+	// contention (e.g. DCache read vs DCache read) remains.
+	PartitionedDChannel bool
+
+	// MaxCycles caps a single program execution.
+	MaxCycles int64
+}
+
+// BoomConfig returns the BOOM-like configuration of paper Table 1.
+func BoomConfig() Config {
+	return Config{
+		Name:             "boom",
+		FetchWidth:       8,
+		FetchBufEntries:  24,
+		CoreWidth:        2,
+		ROBEntries:       96,
+		LDQEntries:       24,
+		STQEntries:       24,
+		NumALUs:          3,
+		PipelinedMul:     true,
+		MulLatency:       3,
+		DivLatencyBase:   8,
+		DivLatencyPerBit: 1,
+		SharedWBPort:     true,
+		ICacheSets:       64,
+		ICacheWays:       8,
+		DCacheSets:       64,
+		DCacheWays:       8,
+		CacheHitLatency:  3,
+		NumMSHRs:         2,
+		LineBuffers:      true,
+		L2Latency:        12,
+		ReadBeats:        8,
+		MaxCycles:        200_000,
+	}
+}
+
+// NutshellConfig returns the NutShell-like configuration of paper Table 1.
+func NutshellConfig() Config {
+	return Config{
+		Name:                 "nutshell",
+		FetchWidth:           2,
+		FetchBufEntries:      8,
+		CoreWidth:            1,
+		ROBEntries:           32,
+		LDQEntries:           8,
+		STQEntries:           8,
+		NumALUs:              2,
+		PipelinedMul:         false, // shared non-pipelined MDU (S13)
+		MulLatency:           8,
+		DivLatencyBase:       8,
+		DivLatencyPerBit:     1,
+		SharedWBPort:         false,
+		ICacheSets:           64,
+		ICacheWays:           8,
+		DCacheSets:           64,
+		DCacheWays:           8,
+		CacheHitLatency:      2,
+		NumMSHRs:             1,
+		LineBuffers:          false,
+		ICacheSinglePort:     true, // S14
+		L2Latency:            10,
+		ReadBeats:            8,
+		EarlyExceptionDetect: true,
+		MaxCycles:            200_000,
+	}
+}
+
+// LineBytes is the cacheline size used throughout.
+const LineBytes = 64

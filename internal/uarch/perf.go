@@ -1,0 +1,58 @@
+package uarch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PerfCounters aggregates per-core pipeline activity over one program run —
+// the observability a pre-silicon tool needs to explain where cycles went.
+type PerfCounters struct {
+	// Cycles is the run length in cycles.
+	Cycles int64
+	// FetchGroups counts instruction-fetch groups issued to the ICache.
+	FetchGroups int64
+	// FetchStallCycles counts cycles fetch waited on the ICache or a
+	// pending redirect.
+	FetchStallCycles int64
+	// Dispatched counts instructions entering the ROB.
+	Dispatched int64
+	// Issued counts instructions accepted by execution units, by class.
+	IssuedALU, IssuedMul, IssuedDiv, IssuedMem, IssuedOther int64
+	// Committed counts architecturally retired instructions.
+	Committed int64
+	// Squashed counts instructions flushed before commit.
+	Squashed int64
+	// BranchFlushes counts taken-branch/jump pipeline redirects.
+	BranchFlushes int64
+	// Exceptions counts faulting commits.
+	Exceptions int64
+}
+
+// IPC returns committed instructions per cycle.
+func (p *PerfCounters) IPC() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return float64(p.Committed) / float64(p.Cycles)
+}
+
+// String renders a compact counter report.
+func (p *PerfCounters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d, committed %d (IPC %.2f), squashed %d\n",
+		p.Cycles, p.Committed, p.IPC(), p.Squashed)
+	fmt.Fprintf(&b, "fetch groups %d (stalled %d cycles), dispatched %d\n",
+		p.FetchGroups, p.FetchStallCycles, p.Dispatched)
+	fmt.Fprintf(&b, "issued: alu %d, mul %d, div %d, mem %d, other %d\n",
+		p.IssuedALU, p.IssuedMul, p.IssuedDiv, p.IssuedMem, p.IssuedOther)
+	fmt.Fprintf(&b, "branch flushes %d, exceptions %d\n", p.BranchFlushes, p.Exceptions)
+	return b.String()
+}
+
+// Perf returns the core's counters for the current/most recent run.
+func (c *Core) Perf() *PerfCounters {
+	p := c.perf
+	p.Cycles = c.cycle
+	return &p
+}

@@ -1,0 +1,73 @@
+package uarch
+
+import "sonar/internal/hdl"
+
+// pulse is one scheduled request-port activation: data is driven, then the
+// valid signal is raised and lowered, producing a rising edge at exactly the
+// scheduled cycle.
+type pulse struct {
+	valid *hdl.Signal
+	data  *hdl.Signal // may be nil
+	val   uint64
+}
+
+// Pulser schedules netlist request pulses for future cycles. The behavioural
+// models compute multi-cycle transactions (cache misses, bus transfers)
+// eagerly, but the monitor must observe each request at the cycle it
+// actually arrives at its contention point; the Pulser bridges the two by
+// replaying scheduled pulses when the simulation reaches their cycle.
+type Pulser struct {
+	pending map[int64][]pulse
+	// drained is the most recent cycle Drain ran for; pulses scheduled at
+	// or before it fire immediately (the core is mid-cycle).
+	drained int64
+}
+
+// NewPulser creates an empty scheduler.
+func NewPulser() *Pulser {
+	return &Pulser{pending: make(map[int64][]pulse), drained: -1}
+}
+
+// At schedules a request pulse (valid rising edge, with data driven first)
+// for the given cycle. A pulse scheduled for the current or an already
+// drained cycle fires immediately.
+func (p *Pulser) At(cycle int64, valid, data *hdl.Signal, val uint64) {
+	if cycle <= p.drained {
+		fire(pulse{valid: valid, data: data, val: val})
+		return
+	}
+	p.pending[cycle] = append(p.pending[cycle], pulse{valid: valid, data: data, val: val})
+}
+
+// Drain fires all pulses scheduled for cycles up to and including the given
+// cycle. The runner calls it once per cycle before stepping the cores.
+func (p *Pulser) Drain(cycle int64) {
+	for c := p.drained + 1; c <= cycle; c++ {
+		pulses, ok := p.pending[c]
+		if !ok {
+			continue
+		}
+		delete(p.pending, c)
+		for _, pl := range pulses {
+			fire(pl)
+		}
+	}
+	p.drained = cycle
+}
+
+func fire(pl pulse) {
+	if pl.data != nil {
+		pl.data.Set(pl.val)
+	}
+	pl.valid.Set(1)
+	pl.valid.Set(0)
+}
+
+// Reset drops all scheduled pulses and rewinds the drain clock.
+func (p *Pulser) Reset() {
+	p.pending = make(map[int64][]pulse)
+	p.drained = -1
+}
+
+// PendingCycles returns the number of future cycles with scheduled pulses.
+func (p *Pulser) PendingCycles() int { return len(p.pending) }

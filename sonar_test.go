@@ -1,0 +1,46 @@
+package sonar
+
+import "testing"
+
+// The public facade: everything a downstream user touches, exercised
+// end to end at a small budget.
+func TestPublicAPI(t *testing.T) {
+	s := NewBoomLite()
+	rep := s.Identify()
+	if rep.TracedPoints == 0 || rep.MonitoredPoints == 0 {
+		t.Fatalf("identification empty: %+v", rep)
+	}
+	stats := s.Fuzz(SonarOptions(10))
+	if len(stats.PerIteration) != 10 {
+		t.Fatalf("iterations = %d", len(stats.PerIteration))
+	}
+	if stats.PerIteration[9].CumPoints == 0 {
+		t.Error("nothing triggered through the facade")
+	}
+	if len(BoomPoCs()) != 9 || len(NutshellPoCs()) != 2 {
+		t.Errorf("PoC counts = %d/%d, want 9/2", len(BoomPoCs()), len(NutshellPoCs()))
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	s := NewNutshellLite()
+	st := RunSpecDoctor(s, 5, 1)
+	if len(st.PerIteration) != 5 {
+		t.Fatal("SpecDoctor baseline did not run")
+	}
+	rnd := s.Fuzz(RandomOptions(5))
+	if rnd.CorpusSize != 0 {
+		t.Error("random baseline retained seeds")
+	}
+}
+
+func TestPublicAPIExploit(t *testing.T) {
+	key := [KeyBytes]byte{0x42, 0x99}
+	res := Exploit(BoomPoCs()[3:4], key, 1, 3, 7) // S4 only, cheap
+	if len(res) != 1 || res[0].ID != "S4" {
+		t.Fatalf("results = %+v", res)
+	}
+	if res[0].BitAccuracy < 0.99 {
+		t.Errorf("S4 accuracy %.3f through facade", res[0].BitAccuracy)
+	}
+}
