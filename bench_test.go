@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"sonar/internal/boom"
 	"sonar/internal/experiments"
 	"sonar/internal/fuzz"
 )
@@ -131,6 +132,37 @@ func BenchmarkExploitation_PoCAccuracy(b *testing.B) {
 	b.ReportMetric(float64(recovered), "keys-recovered")
 	b.ReportMetric(float64(len(rs)), "pocs-total")
 }
+
+// Campaign-engine throughput: the serial engine vs the sharded parallel
+// engine at increasing worker counts. The metric is fuzzing iterations per
+// second; the parallel entries should scale with physical cores
+// (Workers=1 retraces the serial campaign exactly, see TestParallelWorkers1MatchesSerial).
+func benchmarkCampaign(b *testing.B, workers int) {
+	opt := fuzz.SonarOptions(benchIters)
+	opt.Workers = workers
+	for i := 0; i < b.N; i++ {
+		st := fuzz.RunParallel(func() *fuzz.DUT { return fuzz.NewDUT(boom.NewLite()) }, opt)
+		if len(st.PerIteration) != benchIters {
+			b.Fatal("campaign incomplete")
+		}
+	}
+	b.ReportMetric(float64(benchIters)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
+}
+
+func BenchmarkCampaignSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := fuzz.Run(fuzz.NewDUT(boom.NewLite()), fuzz.SonarOptions(benchIters))
+		if len(st.PerIteration) != benchIters {
+			b.Fatal("campaign incomplete")
+		}
+	}
+	b.ReportMetric(float64(benchIters)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
+}
+
+func BenchmarkCampaignParallel1(b *testing.B) { benchmarkCampaign(b, 1) }
+func BenchmarkCampaignParallel2(b *testing.B) { benchmarkCampaign(b, 2) }
+func BenchmarkCampaignParallel4(b *testing.B) { benchmarkCampaign(b, 4) }
+func BenchmarkCampaignParallel8(b *testing.B) { benchmarkCampaign(b, 8) }
 
 // Ablation benches for the design choices DESIGN.md calls out.
 

@@ -7,6 +7,7 @@
 //	sonar-bench                    # all experiments at default scale
 //	sonar-bench -iters 3000        # paper-scale campaigns (slower)
 //	sonar-bench -only fig8,table3  # a subset
+//	sonar-bench -only parallel -workers 8  # parallel-engine scaling
 package main
 
 import (
@@ -23,9 +24,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sonar-bench: ")
 	var (
-		iters  = flag.Int("iters", 400, "campaign iterations for Figures 8/10/11 (paper: 3000)")
-		trials = flag.Int("trials", 7, "PoC trials per key bit for Table 3 / exploitation")
-		only   = flag.String("only", "", "comma-separated subset: table1,fig6,fig7,table2,fig8,fig9,fig10,fig11,table3,exploit,mitigations")
+		iters   = flag.Int("iters", 400, "campaign iterations for Figures 8/10/11 (paper: 3000)")
+		trials  = flag.Int("trials", 7, "PoC trials per key bit for Table 3 / exploitation")
+		workers = flag.Int("workers", 4, "worker count for the parallel-engine scaling experiment")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig6,fig7,table2,fig8,fig9,fig10,fig11,table3,exploit,mitigations,parallel")
 	)
 	flag.Parse()
 
@@ -55,4 +57,5 @@ func main() {
 	run("table3", func() { fmt.Print(experiments.RenderTable3(experiments.Table3(*trials))) })
 	run("exploit", func() { fmt.Print(experiments.RenderExploitation(experiments.Exploitation(1, *trials+2))) })
 	run("mitigations", func() { fmt.Print(experiments.RenderMitigations(experiments.Mitigations(*trials))) })
+	run("parallel", func() { fmt.Print(experiments.RenderParallel(experiments.Parallel(*iters, *workers))) })
 }

@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	sonar [-dut boom|nutshell] [-iters N] [-seed N] [-dual] [-random] [-v]
+//	sonar [-dut boom|nutshell] [-iters N] [-seed N] [-workers N] [-dual] [-random] [-v]
 //
 // Examples:
 //
 //	sonar -dut boom -iters 500          # guided campaign on BOOM
 //	sonar -dut nutshell -random         # random-testing baseline
 //	sonar -dut boom -dual -iters 200    # dual-core template (Figure 4b)
+//	sonar -iters 3000 -workers 8        # sharded parallel campaign
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		dut     = flag.String("dut", "boom", "device under test: boom or nutshell")
 		iters   = flag.Int("iters", 300, "fuzzing iterations")
 		seed    = flag.Int64("seed", 1, "campaign RNG seed")
+		workers = flag.Int("workers", 1, "parallel campaign shards (1 = legacy serial engine)")
 		dual    = flag.Bool("dual", false, "dual-core scenario (boom only)")
 		random  = flag.Bool("random", false, "disable all guidance (random-testing baseline)")
 		verbose = flag.Bool("v", false, "print every finding")
@@ -46,13 +48,13 @@ func main() {
 	var s *core.Sonar
 	switch {
 	case *dut == "boom" && *dual:
-		s = core.New(boom.NewDual())
+		s = core.New(boom.NewDual)
 	case *dut == "boom":
-		s = core.New(boom.New())
+		s = core.New(boom.New)
 	case *dut == "nutshell" && *dual:
 		log.Fatal("the NutShell model is single-core")
 	case *dut == "nutshell":
-		s = core.New(nutshell.New())
+		s = core.New(nutshell.New)
 	default:
 		log.Fatalf("unknown DUT %q (want boom or nutshell)", *dut)
 	}
@@ -86,10 +88,11 @@ func main() {
 	opt.Seed = *seed
 	opt.DualCore = *dual
 	opt.KeepFindings = 32
+	opt.Workers = *workers
 
-	fmt.Printf("fuzzing %d iterations (retention=%v selection=%v directed=%v dual=%v)...\n",
+	fmt.Printf("fuzzing %d iterations (retention=%v selection=%v directed=%v dual=%v workers=%d)...\n",
 		opt.Iterations, opt.Retention || opt.Selection || opt.DirectedMutation,
-		opt.Selection || opt.DirectedMutation, opt.DirectedMutation, opt.DualCore)
+		opt.Selection || opt.DirectedMutation, opt.DirectedMutation, opt.DualCore, *workers)
 	st := s.Fuzz(opt)
 	last := st.PerIteration[len(st.PerIteration)-1]
 	fmt.Printf("triggered %d contention points, %d testcases exposed secret-dependent timing differences\n",
@@ -97,7 +100,11 @@ func main() {
 	fmt.Printf("corpus %d seeds, %d simulated cycles\n", st.CorpusSize, st.ExecutedCycles)
 
 	if *perf {
-		fmt.Printf("\npipeline counters (last execution, core 0):\n%s", s.DUT.SoC.Cores[0].Perf())
+		if *workers > 1 {
+			fmt.Println("\npipeline counters unavailable: parallel workers run on private DUTs")
+		} else {
+			fmt.Printf("\npipeline counters (last execution, core 0):\n%s", s.DUT.SoC.Cores[0].Perf())
+		}
 	}
 
 	if len(st.Findings) == 0 {

@@ -19,11 +19,16 @@ import (
 type Sonar struct {
 	// DUT is the analyzed, instrumented device under test.
 	DUT *fuzz.DUT
+	// mk rebuilds the SoC, so parallel campaigns can elaborate one private
+	// DUT per worker.
+	mk func() *uarch.SoC
 }
 
-// New analyzes and instruments a SoC, returning a ready-to-fuzz pipeline.
-func New(soc *uarch.SoC) *Sonar {
-	return &Sonar{DUT: fuzz.NewDUT(soc)}
+// New analyzes and instruments a SoC built by mk, returning a ready-to-fuzz
+// pipeline. The constructor is retained: FuzzParallel elaborates additional
+// DUTs from it, one per worker.
+func New(mk func() *uarch.SoC) *Sonar {
+	return &Sonar{DUT: fuzz.NewDUT(mk()), mk: mk}
 }
 
 // IdentificationReport summarizes §5's static analysis results: contention
@@ -91,9 +96,21 @@ func (s *Sonar) Identify() *IdentificationReport {
 }
 
 // Fuzz runs a state-guided fuzzing campaign (§6) with dual-differential
-// detection (§7).
+// detection (§7). Campaigns with Options.Workers > 1 are dispatched to the
+// sharded parallel engine.
 func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
+	if opt.Workers > 1 {
+		return s.FuzzParallel(opt)
+	}
 	return fuzz.Run(s.DUT, opt)
+}
+
+// FuzzParallel runs a sharded campaign: Options.Workers workers, each on a
+// private DUT elaborated from the retained SoC constructor, merging
+// feedback after every batch. Workers <= 1 reproduces Fuzz's serial
+// campaign exactly; a fixed worker count is reproducible across runs.
+func (s *Sonar) FuzzParallel(opt fuzz.Options) *fuzz.Stats {
+	return fuzz.RunParallel(func() *fuzz.DUT { return fuzz.NewDUT(s.mk()) }, opt)
 }
 
 // Point returns the contention point with the given ID.

@@ -9,11 +9,13 @@ import (
 )
 
 func TestIdentifyReport(t *testing.T) {
-	s := New(uarch.NewSoC(uarch.BoomConfig(), 1, []uarch.ArraySpec{
-		{Component: "rob", Name: "entries", Entries: 4, Fanin: 2, Width: 8, Role: uarch.RoleROB},
-	}, []uarch.FilterSpec{
-		{Component: "rob", Const: 3, NoValid: 2, Fanin: 2},
-	}))
+	s := New(func() *uarch.SoC {
+		return uarch.NewSoC(uarch.BoomConfig(), 1, []uarch.ArraySpec{
+			{Component: "rob", Name: "entries", Entries: 4, Fanin: 2, Width: 8, Role: uarch.RoleROB},
+		}, []uarch.FilterSpec{
+			{Component: "rob", Const: 3, NoValid: 2, Fanin: 2},
+		})
+	})
 	r := s.Identify()
 	if r.TracedPoints == 0 || r.MonitoredPoints == 0 {
 		t.Fatalf("report empty: %+v", r)
@@ -34,12 +36,31 @@ func TestIdentifyReport(t *testing.T) {
 }
 
 func TestFuzzThroughFacade(t *testing.T) {
-	s := New(uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil))
+	s := New(func() *uarch.SoC { return uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil) })
 	st := s.Fuzz(fuzz.SonarOptions(5))
 	if len(st.PerIteration) != 5 {
 		t.Fatalf("iterations = %d", len(st.PerIteration))
 	}
 	if p := s.Point(0); p == nil {
 		t.Error("Point(0) nil")
+	}
+}
+
+// Fuzz with Workers > 1 must dispatch to the sharded engine and produce a
+// complete, reproducible campaign through the facade.
+func TestFuzzParallelThroughFacade(t *testing.T) {
+	mk := func() *uarch.SoC { return uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil) }
+	opt := fuzz.SonarOptions(12)
+	opt.Workers = 3
+	opt.BatchSize = 2
+	a := New(mk).Fuzz(opt)
+	b := New(mk).FuzzParallel(opt)
+	if len(a.PerIteration) != 12 || len(b.PerIteration) != 12 {
+		t.Fatalf("iterations = %d / %d", len(a.PerIteration), len(b.PerIteration))
+	}
+	for i := range a.PerIteration {
+		if a.PerIteration[i] != b.PerIteration[i] {
+			t.Fatalf("facade dispatch diverged at iteration %d", i)
+		}
 	}
 }

@@ -300,3 +300,16 @@ func TestScenarioDeltasNonzero(t *testing.T) {
 		t.Errorf("S14 scenario delta = %d", d)
 	}
 }
+
+func TestParallelExperiment(t *testing.T) {
+	r := Parallel(40, 2)
+	if r.SerialPoints == 0 || r.ParallelPoints == 0 {
+		t.Fatalf("campaigns triggered nothing: %+v", r)
+	}
+	if !r.EquivalentAtOne {
+		t.Error("Workers=1 did not reproduce the serial trajectory")
+	}
+	if text := RenderParallel(r); !strings.Contains(text, "speedup") {
+		t.Error("render incomplete")
+	}
+}

@@ -73,8 +73,8 @@ func (r Figure6Result) Reduction() float64 {
 func Figure6() []Figure6Result {
 	var out []Figure6Result
 	for _, mk := range []func() *core.Sonar{
-		func() *core.Sonar { return core.New(boom.New()) },
-		func() *core.Sonar { return core.New(nutshell.New()) },
+		func() *core.Sonar { return core.New(boom.New) },
+		func() *core.Sonar { return core.New(nutshell.New) },
 	} {
 		rep := mk().Identify()
 		out = append(out, Figure6Result{
@@ -116,8 +116,8 @@ func (r Figure7Result) FilterReduction() float64 {
 func Figure7() []Figure7Result {
 	var out []Figure7Result
 	for _, mk := range []func() *core.Sonar{
-		func() *core.Sonar { return core.New(boom.New()) },
-		func() *core.Sonar { return core.New(nutshell.New()) },
+		func() *core.Sonar { return core.New(boom.New) },
+		func() *core.Sonar { return core.New(nutshell.New) },
 	} {
 		rep := mk().Identify()
 		out = append(out, Figure7Result{

@@ -37,6 +37,15 @@ type Options struct {
 	// instead of inheriting/flipping based on the previous mutation's
 	// effect — the ablation of §6.2.1's "adaptive directed mutation".
 	RandomDirection bool
+	// Workers is the number of campaign shards RunParallel executes
+	// concurrently, each on a private DUT. 0 or 1 keeps the legacy serial
+	// behaviour; Run ignores this field.
+	Workers int
+	// BatchSize is the number of iterations each worker executes between
+	// two corpus merges in RunParallel (0 = a sensible default). Smaller
+	// batches tighten the feedback loop; larger ones reduce
+	// synchronization overhead.
+	BatchSize int
 }
 
 // SonarOptions returns the full Sonar strategy set.
@@ -94,107 +103,199 @@ type Stats struct {
 	ExecutedCycles int64
 }
 
-// Run executes a fuzzing campaign on the DUT.
-func Run(d *DUT, opt Options) *Stats {
-	rng := rand.New(rand.NewSource(opt.Seed))
-	corpus := NewCorpus()
-	st := &Stats{TriggeredPoints: make(map[int]bool)}
-	retention := opt.Retention || opt.Selection || opt.DirectedMutation
-	selection := opt.Selection || opt.DirectedMutation
+// worker owns one shard of a campaign: a private DUT, an RNG stream, and a
+// corpus view. The serial Run is a single worker drained to completion;
+// RunParallel runs several concurrently and merges their feedback between
+// batches.
+type worker struct {
+	d         *DUT
+	rng       *rand.Rand
+	corpus    *Corpus
+	opt       Options
+	retention bool
+	selection bool
+	// newSeeds are the seeds retained since the last takeNewSeeds call —
+	// the delta the parallel coordinator re-offers to the global corpus.
+	newSeeds []*Seed
+}
 
-	for it := 1; it <= opt.Iterations; it++ {
-		var tc *Testcase
-		var parent *Seed
-		target := -1
-		if retention && corpus.Len() > 0 && rng.Float64() < 0.7 {
-			parent, target = corpus.Select(rng, selection)
-			if opt.DirectedMutation {
-				tc = MutateDirected(parent, rng)
-			} else {
-				tc = MutateRandom(parent, rng)
-			}
+func newWorker(d *DUT, opt Options, rng *rand.Rand) *worker {
+	return &worker{
+		d: d, rng: rng, corpus: NewCorpus(), opt: opt,
+		retention: opt.Retention || opt.Selection || opt.DirectedMutation,
+		selection: opt.Selection || opt.DirectedMutation,
+	}
+}
+
+// outcome is one iteration's contribution to campaign statistics, in a form
+// the coordinator can fold into Stats in canonical order.
+type outcome struct {
+	tc        *Testcase
+	triggered []int
+	finding   *detect.Finding
+	cycles    int64
+}
+
+// runOne executes one fuzzing iteration: generate or mutate a testcase,
+// double-execute it under both secrets, detect, and feed the corpus.
+func (w *worker) runOne() outcome {
+	var tc *Testcase
+	var parent *Seed
+	target := -1
+	if w.retention && w.corpus.Len() > 0 && w.rng.Float64() < 0.7 {
+		parent, target = w.corpus.Select(w.rng, w.selection)
+		if w.opt.DirectedMutation {
+			tc = MutateDirected(parent, w.rng)
 		} else {
-			tc = Generate(rng, opt.DualCore)
+			tc = MutateRandom(parent, w.rng)
 		}
+	} else {
+		tc = Generate(w.rng, w.opt.DualCore)
+	}
 
-		exA := d.Execute(tc, opt.SecretA)
-		exB := d.Execute(tc, opt.SecretB)
-		st.ExecutedCycles += exA.Cycles + exB.Cycles
+	exA := w.d.Execute(tc, w.opt.SecretA)
+	exB := w.d.Execute(tc, w.opt.SecretB)
 
-		// Contention coverage: union of points triggered in either run.
-		newPts := 0
-		var early [2]int
-		for _, ex := range []*Execution{exA, exB} {
-			for _, id := range ex.Snap.Triggered() {
-				if !st.TriggeredPoints[id] {
-					st.TriggeredPoints[id] = true
-					newPts++
-					if it <= 20 {
-						st.EarlyTriggered++
-						if singleValidDominated(d, id) {
-							st.SingleValidTriggered++
-							early[0]++
-						} else {
-							early[1]++
-						}
-					}
+	// Contention coverage: points triggered in either run, in execution
+	// order (the accumulator deduplicates against the global set).
+	out := outcome{
+		tc:        tc,
+		triggered: append(exA.Snap.Triggered(), exB.Snap.Triggered()...),
+		finding:   analyzeExecutions(tc, exA, exB),
+		cycles:    exA.Cycles + exB.Cycles,
+	}
+
+	// Feedback: retention + adaptive direction update.
+	if w.retention {
+		intvls := mergeIntervals(exA.Snap, exB.Snap)
+		dir := +1
+		switch {
+		case w.opt.RandomDirection:
+			dir = 1 - 2*w.rng.Intn(2) // ablation: no direction memory
+		case parent != nil:
+			dir = parent.Dir
+			if target >= 0 {
+				oldV, okOld := parent.Intvls[target]
+				newV, okNew := intvls[target]
+				switch {
+				case okNew && okOld && newV < oldV:
+					// Improvement: keep direction.
+				case okNew && !okOld:
+					// First observation counts as progress.
+				default:
+					dir = -dir // no improvement: flip (adaptive, §6.2.1)
 				}
 			}
+		default:
+			// Fresh testcase: unbiased initial direction. A fixed +1 would
+			// permanently skew the adaptive strategy toward chain growth;
+			// §6.2.1 relies on both directions being explored.
+			dir = 1 - 2*w.rng.Intn(2)
 		}
-		if it <= 20 {
-			st.EarlyBreakdown = append(st.EarlyBreakdown, early)
-		}
-
-		// Dual-differential side-channel detection.
-		finding := detect.Analyze(exA.Log, exB.Log, exA.Snap, exB.Snap)
-		if finding == nil && opt.DualCore {
-			finding = detect.Analyze(exA.AttackerLog, exB.AttackerLog, exA.Snap, exB.Snap)
-		}
-		cum := 0
-		if len(st.PerIteration) > 0 {
-			cum = st.PerIteration[len(st.PerIteration)-1].CumTimingDiffs
-		}
-		if finding != nil {
-			cum++
-			if opt.KeepFindings == 0 || len(st.Findings) < opt.KeepFindings {
-				st.Findings = append(st.Findings, finding)
-				st.FindingSeeds = append(st.FindingSeeds, tc)
-			}
-		}
-		st.PerIteration = append(st.PerIteration, IterStats{
-			Iteration:      it,
-			NewPoints:      newPts,
-			CumPoints:      len(st.TriggeredPoints),
-			CumTimingDiffs: cum,
-		})
-
-		// Feedback: retention + adaptive direction update.
-		if retention {
-			intvls := mergeIntervals(exA.Snap, exB.Snap)
-			dir := +1
-			switch {
-			case opt.RandomDirection:
-				dir = 1 - 2*rng.Intn(2) // ablation: no direction memory
-			case parent != nil:
-				dir = parent.Dir
-				if target >= 0 {
-					oldV, okOld := parent.Intvls[target]
-					newV, okNew := intvls[target]
-					switch {
-					case okNew && okOld && newV < oldV:
-						// Improvement: keep direction.
-					case okNew && !okOld:
-						// First observation counts as progress.
-					default:
-						dir = -dir // no improvement: flip (adaptive, §6.2.1)
-					}
-				}
-			}
-			corpus.Offer(tc, intvls, dir, target)
+		if s := w.corpus.Offer(tc, intvls, dir, target); s != nil {
+			w.newSeeds = append(w.newSeeds, s)
 		}
 	}
-	st.CorpusSize = corpus.Len()
-	return st
+	return out
+}
+
+// runBatch executes n iterations and returns their outcomes in order.
+func (w *worker) runBatch(n int) []outcome {
+	outs := make([]outcome, n)
+	for i := range outs {
+		outs[i] = w.runOne()
+	}
+	return outs
+}
+
+// takeNewSeeds returns the seeds retained since the previous call and
+// resets the delta.
+func (w *worker) takeNewSeeds() []*Seed {
+	s := w.newSeeds
+	w.newSeeds = nil
+	return s
+}
+
+// analyzeExecutions runs dual-differential detection on one double
+// execution: the victim's commit logs first and, only when the testcase
+// actually carried an attacker program, the attacker core's logs. Guarding
+// on the testcase (not just Options.DualCore) keeps attacker-less testcases
+// in a dual-core campaign from feeding empty commit logs into detection.
+func analyzeExecutions(tc *Testcase, exA, exB *Execution) *detect.Finding {
+	finding := detect.Analyze(exA.Log, exB.Log, exA.Snap, exB.Snap)
+	if finding == nil && len(tc.Attacker) > 0 {
+		finding = detect.Analyze(exA.AttackerLog, exB.AttackerLog, exA.Snap, exB.Snap)
+	}
+	return finding
+}
+
+// statsAccum folds per-iteration outcomes into campaign statistics in a
+// canonical order, so serial and parallel campaigns build Stats through the
+// same code path.
+type statsAccum struct {
+	d   *DUT // any worker's DUT: the analysis (and point IDs) are identical
+	opt Options
+	st  *Stats
+}
+
+func newStatsAccum(d *DUT, opt Options) *statsAccum {
+	return &statsAccum{d: d, opt: opt, st: &Stats{TriggeredPoints: make(map[int]bool)}}
+}
+
+// apply folds one outcome; the global iteration index is the fold order.
+func (a *statsAccum) apply(o outcome) {
+	st := a.st
+	it := len(st.PerIteration) + 1
+	newPts := 0
+	var early [2]int
+	for _, id := range o.triggered {
+		if !st.TriggeredPoints[id] {
+			st.TriggeredPoints[id] = true
+			newPts++
+			if it <= 20 {
+				st.EarlyTriggered++
+				if singleValidDominated(a.d, id) {
+					st.SingleValidTriggered++
+					early[0]++
+				} else {
+					early[1]++
+				}
+			}
+		}
+	}
+	if it <= 20 {
+		st.EarlyBreakdown = append(st.EarlyBreakdown, early)
+	}
+
+	cum := 0
+	if len(st.PerIteration) > 0 {
+		cum = st.PerIteration[len(st.PerIteration)-1].CumTimingDiffs
+	}
+	if o.finding != nil {
+		cum++
+		if a.opt.KeepFindings == 0 || len(st.Findings) < a.opt.KeepFindings {
+			st.Findings = append(st.Findings, o.finding)
+			st.FindingSeeds = append(st.FindingSeeds, o.tc)
+		}
+	}
+	st.ExecutedCycles += o.cycles
+	st.PerIteration = append(st.PerIteration, IterStats{
+		Iteration:      it,
+		NewPoints:      newPts,
+		CumPoints:      len(st.TriggeredPoints),
+		CumTimingDiffs: cum,
+	})
+}
+
+// Run executes a fuzzing campaign on the DUT.
+func Run(d *DUT, opt Options) *Stats {
+	w := newWorker(d, opt, rand.New(rand.NewSource(opt.Seed)))
+	acc := newStatsAccum(d, opt)
+	for it := 0; it < opt.Iterations; it++ {
+		acc.apply(w.runOne())
+	}
+	acc.st.CorpusSize = w.corpus.Len()
+	return acc.st
 }
 
 // mergeIntervals takes the per-point minimum across the two secret runs.

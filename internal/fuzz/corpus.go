@@ -35,6 +35,21 @@ func NewCorpus() *Corpus {
 // Len returns the number of retained seeds.
 func (c *Corpus) Len() int { return len(c.seeds) }
 
+// Snapshot returns an independent copy of the corpus. The copy shares the
+// retained Seed values (immutable after creation) but owns its seed list
+// and best-interval map, so parallel workers can extend private snapshots
+// of a merged global corpus without synchronization.
+func (c *Corpus) Snapshot() *Corpus {
+	cp := &Corpus{
+		seeds: append([]*Seed(nil), c.seeds...),
+		best:  make(map[int]int64, len(c.best)),
+	}
+	for id, v := range c.best {
+		cp.best[id] = v
+	}
+	return cp
+}
+
 // Best returns the global minimum interval recorded for a point, or
 // monitor.NoInterval.
 func (c *Corpus) Best(point int) int64 {
@@ -127,12 +142,13 @@ func anyPoint(rng *rand.Rand, intvls map[int]int64) int {
 	if len(intvls) == 0 {
 		return -1
 	}
-	k := rng.Intn(len(intvls))
+	// Index sorted keys rather than Go's randomized map order, so equal
+	// seeds give equal campaigns (the determinism contract of Run and
+	// RunParallel).
+	ids := make([]int, 0, len(intvls))
 	for id := range intvls {
-		if k == 0 {
-			return id
-		}
-		k--
+		ids = append(ids, id)
 	}
-	return -1
+	sort.Ints(ids)
+	return ids[rng.Intn(len(ids))]
 }

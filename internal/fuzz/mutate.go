@@ -95,14 +95,6 @@ func mutateRandomRegion(tc *Testcase, rng *rand.Rand) {
 	}
 }
 
-func retargetMemOffset(region []isa.Instr, rng *rand.Rand, offset int64) {
-	idxs := memOpIndices(region)
-	if len(idxs) == 0 {
-		return
-	}
-	region[idxs[rng.Intn(len(idxs))]].Imm = offset
-}
-
 // enhanceSimilarity aligns two memory requests onto the same cacheline —
 // the data-similarity condition for persistent contention (§6.2.2). It
 // aligns either two random fillers, or the probe with a filler (in either

@@ -1,0 +1,104 @@
+package fuzz
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// defaultBatchSize is the per-worker iteration count between two corpus
+// merges when Options.BatchSize is zero. Executions dominate the cost of an
+// iteration, so a few dozen iterations amortize the merge barrier while
+// keeping retention/selection feedback near-global.
+const defaultBatchSize = 32
+
+// RunParallel executes a sharded fuzzing campaign: Options.Workers workers,
+// each owning a private DUT built by newDUT, execute batches of testcases
+// against private corpus views; after every batch round a coordinator
+// merges triggered points, per-point best intervals, and retained seeds in
+// canonical worker order, and every worker restarts from the merged view.
+//
+// Determinism contract: worker w draws from rand.NewSource(opt.Seed+w), the
+// batch schedule is static, and merges happen in worker order, so a
+// campaign is reproducible for a fixed (Seed, Workers, BatchSize) — and
+// Workers <= 1 reproduces Run's serial campaign exactly.
+func RunParallel(newDUT func() *DUT, opt Options) *Stats {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if opt.Iterations > 0 && workers > opt.Iterations {
+		workers = opt.Iterations
+	}
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = defaultBatchSize
+	}
+
+	// One private DUT per worker; elaboration and analysis are independent
+	// and deterministic, so build them concurrently.
+	ws := make([]*worker, workers)
+	var wg sync.WaitGroup
+	for i := range ws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws[i] = newWorker(newDUT(), opt, rand.New(rand.NewSource(opt.Seed+int64(i))))
+		}(i)
+	}
+	wg.Wait()
+
+	// Static shard sizes: worker w owns iterations w, w+workers, ... of the
+	// budget, drained in fixed-size batches.
+	rem := make([]int, workers)
+	for i := range rem {
+		rem[i] = opt.Iterations / workers
+		if i < opt.Iterations%workers {
+			rem[i]++
+		}
+	}
+
+	acc := newStatsAccum(ws[0].d, opt)
+	global := NewCorpus()
+	outs := make([][]outcome, workers)
+	for left := opt.Iterations; left > 0; {
+		// Parallel phase: each worker drains one batch against its private
+		// corpus view.
+		for i, w := range ws {
+			n := rem[i]
+			if n > batch {
+				n = batch
+			}
+			if n == 0 {
+				outs[i] = nil
+				continue
+			}
+			wg.Add(1)
+			go func(w *worker, i, n int) {
+				defer wg.Done()
+				outs[i] = w.runBatch(n)
+			}(w, i, n)
+		}
+		wg.Wait()
+
+		// Merge phase, canonical worker order: fold outcomes into the
+		// global stats and re-offer retained seeds to the global corpus
+		// (re-offering drops seeds another worker has already beaten).
+		for i, w := range ws {
+			for _, o := range outs[i] {
+				acc.apply(o)
+			}
+			rem[i] -= len(outs[i])
+			left -= len(outs[i])
+			for _, s := range w.takeNewSeeds() {
+				global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
+			}
+		}
+
+		// Distribute: every worker restarts from the merged global view.
+		for _, w := range ws {
+			w.corpus = global.Snapshot()
+		}
+	}
+	acc.st.CorpusSize = global.Len()
+	return acc.st
+}

@@ -54,3 +54,22 @@ func TestNutshellSmallerThanBoom(t *testing.T) {
 		t.Errorf("filtered share = %.1f%%, want ~36%%", 100*filtered)
 	}
 }
+
+// Two independently elaborated SoCs must analyze to identical contention
+// points (same IDs, same output signals): the parallel campaign engine
+// merges triggered-point IDs across per-worker DUTs and relies on this.
+func TestElaborationAnalysisDeterministic(t *testing.T) {
+	a := trace.Analyze(NewLite().Net)
+	b := trace.Analyze(NewLite().Net)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i].ID != b.Points[i].ID ||
+			a.Points[i].Out.Name() != b.Points[i].Out.Name() ||
+			a.Points[i].Component != b.Points[i].Component {
+			t.Fatalf("point %d differs across elaborations: %s vs %s",
+				i, a.Points[i].Out.Name(), b.Points[i].Out.Name())
+		}
+	}
+}

@@ -64,23 +64,23 @@ const KeyBytes = attack.KeyBytes
 
 // NewBoom builds the Sonar pipeline over the single-core BOOM-like DUT
 // with its full structural netlist.
-func NewBoom() *Sonar { return core.New(boom.New()) }
+func NewBoom() *Sonar { return core.New(boom.New) }
 
 // NewBoomDual builds the pipeline over the dual-core BOOM-like DUT
 // (template Figure 4b).
-func NewBoomDual() *Sonar { return core.New(boom.NewDual()) }
+func NewBoomDual() *Sonar { return core.New(boom.NewDual) }
 
 // NewBoomLite builds the pipeline over the BOOM-like DUT without bulk
 // structural arrays: same timing behaviour, much faster to elaborate.
-func NewBoomLite() *Sonar { return core.New(boom.NewLite()) }
+func NewBoomLite() *Sonar { return core.New(boom.NewLite) }
 
 // NewNutshell builds the pipeline over the NutShell-like DUT with its full
 // structural netlist.
-func NewNutshell() *Sonar { return core.New(nutshell.New()) }
+func NewNutshell() *Sonar { return core.New(nutshell.New) }
 
 // NewNutshellLite builds the pipeline over the NutShell-like DUT without
 // bulk structural arrays.
-func NewNutshellLite() *Sonar { return core.New(nutshell.NewLite()) }
+func NewNutshellLite() *Sonar { return core.New(nutshell.NewLite) }
 
 // SonarOptions returns the full guided-fuzzing strategy set (§6.2).
 func SonarOptions(iterations int) Options { return fuzz.SonarOptions(iterations) }
