@@ -8,16 +8,22 @@
 //	sonar-bench -iters 3000        # paper-scale campaigns (slower)
 //	sonar-bench -only fig8,table3  # a subset
 //	sonar-bench -only parallel -workers 8  # parallel-engine scaling
+//
+// The -metrics/-events/-progress flags attach the observability layer of
+// docs/OBSERVABILITY.md to every campaign the experiments run: metrics
+// aggregate across campaigns, the JSONL event stream concatenates them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"sonar/internal/experiments"
+	"sonar/internal/obs"
 )
 
 func main() {
@@ -28,8 +34,23 @@ func main() {
 		trials  = flag.Int("trials", 7, "PoC trials per key bit for Table 3 / exploitation")
 		workers = flag.Int("workers", 4, "worker count for the parallel-engine scaling experiment")
 		only    = flag.String("only", "", "comma-separated subset: table1,fig6,fig7,table2,fig8,fig9,fig10,fig11,table3,exploit,mitigations,parallel")
+
+		metrics  = flag.String("metrics", "", "write Prometheus exposition text here after the run (- = stdout)")
+		events   = flag.String("events", "", "stream campaign events to this JSONL file")
+		progress = flag.Int("progress", 0, "print a live progress line to stderr every N iterations (0 = off)")
 	)
 	flag.Parse()
+
+	observer, finish, err := obs.CLIObserver(*metrics, *events, "", os.Stderr, *progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetObserver(observer)
+	defer func() {
+		if err := finish(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	want := map[string]bool{}
 	if *only != "" {

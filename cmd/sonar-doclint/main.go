@@ -1,0 +1,105 @@
+// Command sonar-doclint enforces the repository's documentation floor,
+// used as a CI gate (.github/workflows/ci.yml):
+//
+//   - every package under internal/ must carry a godoc package comment
+//     starting with "Package <name>";
+//   - every main package under cmd/ and examples/ must carry a package
+//     comment (the command/example synopsis).
+//
+// It parses package clauses only, so it is fast and needs no build.
+//
+// Usage:
+//
+//	sonar-doclint [repo-root]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	for _, dir := range []string{"internal", "cmd", "examples"} {
+		p, err := lintTree(filepath.Join(root, dir), dir == "internal")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonar-doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "sonar-doclint: %d package(s) lack documentation\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks every directory under root containing Go files and checks
+// that the package has a doc comment; strict additionally requires the
+// canonical "Package <name>" opening.
+func lintTree(root string, strict bool) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(dir string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		doc, name, ok, err := packageDoc(dir)
+		if err != nil {
+			return err
+		}
+		if !ok { // no non-test Go files
+			return nil
+		}
+		switch {
+		case doc == "":
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		case strict && !strings.HasPrefix(doc, "Package "+name):
+			problems = append(problems, fmt.Sprintf("%s: package comment must start with %q", dir, "Package "+name))
+		}
+		return nil
+	})
+	return problems, err
+}
+
+// packageDoc returns the longest package doc comment among dir's non-test
+// Go files (godoc accepts the comment on any file; convention puts it on
+// one) and the package name. ok reports whether dir holds any Go files.
+func packageDoc(dir string) (doc, name string, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return "", "", false, err
+		}
+		ok = true
+		name = f.Name.Name
+		if f.Doc != nil {
+			if t := strings.TrimSpace(f.Doc.Text()); len(t) > len(doc) {
+				doc = t
+			}
+		}
+	}
+	return doc, name, ok, nil
+}

@@ -12,6 +12,12 @@
 //	sonar -dut nutshell -random         # random-testing baseline
 //	sonar -dut boom -dual -iters 200    # dual-core template (Figure 4b)
 //	sonar -iters 3000 -workers 8        # sharded parallel campaign
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	sonar -metrics metrics.prom -events events.jsonl  # file outputs
+//	sonar -metrics - -progress 50                     # exposition on stdout, live line
+//	sonar -metrics-addr :9090                         # live /metrics endpoint
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"sonar/internal/detect"
 	"sonar/internal/fuzz"
 	"sonar/internal/nutshell"
+	"sonar/internal/obs"
 )
 
 func main() {
@@ -42,6 +49,11 @@ func main() {
 		perf    = flag.Bool("perf", false, "print pipeline performance counters of the last execution")
 		save    = flag.String("save", "", "directory to export finding testcases into (Testcase.Marshal format)")
 		replay  = flag.String("replay", "", "replay one exported testcase file instead of fuzzing")
+
+		metrics     = flag.String("metrics", "", "write Prometheus exposition text here after the campaign (- = stdout)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics on this address during the campaign")
+		events      = flag.String("events", "", "stream campaign events to this JSONL file")
+		progress    = flag.Int("progress", 0, "print a live progress line to stderr every N iterations (0 = off)")
 	)
 	flag.Parse()
 
@@ -90,10 +102,19 @@ func main() {
 	opt.KeepFindings = 32
 	opt.Workers = *workers
 
+	observer, finish, err := obs.CLIObserver(*metrics, *events, *metricsAddr, os.Stderr, *progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.Observer = observer
+
 	fmt.Printf("fuzzing %d iterations (retention=%v selection=%v directed=%v dual=%v workers=%d)...\n",
 		opt.Iterations, opt.Retention || opt.Selection || opt.DirectedMutation,
 		opt.Selection || opt.DirectedMutation, opt.DirectedMutation, opt.DualCore, *workers)
 	st := s.Fuzz(opt)
+	if err := finish(); err != nil {
+		log.Fatal(err)
+	}
 	last := st.PerIteration[len(st.PerIteration)-1]
 	fmt.Printf("triggered %d contention points, %d testcases exposed secret-dependent timing differences\n",
 		last.CumPoints, last.CumTimingDiffs)

@@ -1,0 +1,59 @@
+// Observability: attach the campaign observability layer to a parallel
+// fuzzing campaign — a JSONL event stream on disk, an in-memory sink for
+// programmatic consumption, and a Prometheus-style metrics dump at the end
+// (docs/OBSERVABILITY.md documents every metric and event).
+//
+// The event stream is part of the determinism contract: for a fixed
+// (Seed, Workers, BatchSize) the merged stream is byte-identical across
+// runs, so diffing two events.jsonl files is a campaign-reproducibility
+// check.
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sonar"
+)
+
+func main() {
+	f, err := os.Create("events.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One Observer fans events out to any number of sinks; metrics
+	// accumulate on the Observer itself.
+	mem := sonar.NewMemorySink()
+	o := sonar.NewObserver(sonar.NewJSONLSink(f), mem)
+
+	s := sonar.NewBoomLite()
+	opt := sonar.SonarOptions(200)
+	opt.Workers = 4
+	opt.BatchSize = 16
+	opt.Observer = o
+	stats := s.Fuzz(opt)
+	if err := o.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The in-memory sink holds the same stream the file received.
+	var triggered int
+	for _, e := range mem.Events() {
+		if e.Kind == sonar.PointTriggered {
+			triggered++
+		}
+	}
+	last := stats.PerIteration[len(stats.PerIteration)-1]
+	fmt.Printf("campaign: %d iterations, %d PointTriggered events (= %d cumulative points)\n",
+		opt.Iterations, triggered, last.CumPoints)
+	fmt.Printf("wrote %d events to events.jsonl\n", len(mem.Events()))
+
+	// Metrics render as Prometheus exposition text, ready to write to a
+	// file or serve over HTTP via o.Metrics.Handler().
+	fmt.Println("\nmetrics:")
+	fmt.Print(o.Metrics.ExpositionText())
+}

@@ -11,6 +11,7 @@ import (
 
 	"sonar/internal/attack"
 	"sonar/internal/fuzz"
+	"sonar/internal/obs"
 	"sonar/internal/trace"
 	"sonar/internal/uarch"
 )
@@ -97,11 +98,14 @@ func (s *Sonar) Identify() *IdentificationReport {
 
 // Fuzz runs a state-guided fuzzing campaign (§6) with dual-differential
 // detection (§7). Campaigns with Options.Workers > 1 are dispatched to the
-// sharded parallel engine.
+// sharded parallel engine. An attached Options.Observer additionally
+// receives the DUT's identification gauges, so one metrics scrape relates
+// campaign coverage to the point population.
 func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
 	if opt.Workers > 1 {
 		return s.FuzzParallel(opt)
 	}
+	s.observeIdentification(opt.Observer)
 	return fuzz.Run(s.DUT, opt)
 }
 
@@ -110,7 +114,18 @@ func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
 // feedback after every batch. Workers <= 1 reproduces Fuzz's serial
 // campaign exactly; a fixed worker count is reproducible across runs.
 func (s *Sonar) FuzzParallel(opt fuzz.Options) *fuzz.Stats {
+	s.observeIdentification(opt.Observer)
 	return fuzz.RunParallel(func() *fuzz.DUT { return fuzz.NewDUT(s.mk()) }, opt)
+}
+
+// observeIdentification publishes the §5 static-analysis results as gauges
+// on the campaign Observer (idempotent; no-op for a nil Observer).
+func (s *Sonar) observeIdentification(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	r := s.Identify()
+	o.DUTInfo(r.Design, r.NaiveMuxes, r.TracedPoints, r.MonitoredPoints)
 }
 
 // Point returns the contention point with the given ID.

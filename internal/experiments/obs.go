@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"sonar/internal/fuzz"
+	"sonar/internal/obs"
+)
+
+// campaignObserver is the Observer attached to every campaign the
+// experiments run; see SetObserver.
+var campaignObserver *obs.Observer
+
+// SetObserver attaches o to every subsequent experiment campaign (Figures
+// 8-11 and the parallel scaling run). The experiments run campaigns
+// back-to-back, so the metrics aggregate across campaigns while the event
+// stream concatenates them, delimited by CampaignStart/CampaignEnd pairs.
+// Pass nil to detach. Not safe to call while an experiment is running.
+func SetObserver(o *obs.Observer) { campaignObserver = o }
+
+// observed returns opt with the package Observer attached.
+func observed(opt fuzz.Options) fuzz.Options {
+	opt.Observer = campaignObserver
+	return opt
+}

@@ -43,13 +43,13 @@ func Parallel(iterations, workers int) ParallelResult {
 
 	opt := fuzz.SonarOptions(iterations)
 	start := time.Now()
-	serial := fuzz.Run(mkDUT(), opt)
+	serial := fuzz.Run(mkDUT(), observed(opt))
 	serialNs := time.Since(start).Nanoseconds()
 
 	popt := opt
 	popt.Workers = workers
 	start = time.Now()
-	parallel := fuzz.RunParallel(mkDUT, popt)
+	parallel := fuzz.RunParallel(mkDUT, observed(popt))
 	parallelNs := time.Since(start).Nanoseconds()
 
 	// Contract check: Workers=1 must retrace the serial campaign.

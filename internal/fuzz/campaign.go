@@ -5,6 +5,7 @@ import (
 
 	"sonar/internal/detect"
 	"sonar/internal/monitor"
+	"sonar/internal/obs"
 )
 
 // Options configures a fuzzing campaign. The three strategy switches map to
@@ -46,6 +47,14 @@ type Options struct {
 	// batches tighten the feedback loop; larger ones reduce
 	// synchronization overhead.
 	BatchSize int
+	// Observer receives campaign metrics and structured events (package
+	// obs). nil disables observability at near-zero hot-path cost. Events
+	// are emitted only under the campaign coordinator in canonical
+	// iteration order — worker goroutines touch atomic metrics only — so
+	// attaching an Observer never perturbs the campaign itself, and the
+	// event stream of a parallel campaign is byte-identical across runs
+	// for a fixed (Seed, Workers, BatchSize).
+	Observer *obs.Observer
 }
 
 // SonarOptions returns the full Sonar strategy set.
@@ -80,6 +89,13 @@ type IterStats struct {
 
 // Stats is the result of a campaign.
 type Stats struct {
+	// PerIteration is the progress series, indexed by the campaign's
+	// canonical iteration order: execution order for Run, and the
+	// coordinator's fold order for RunParallel (each batch round folds
+	// workers in worker order), which is NOT wall-clock completion order —
+	// worker w's k-th batch entry occupies the same slot on every run.
+	// Both engines guarantee len(PerIteration) == Options.Iterations
+	// (TestPerIterationLengthMatchesIterations pins this).
 	PerIteration []IterStats
 	// Findings are the detected side channels (dual-differential verified).
 	Findings []*detect.Finding
@@ -134,6 +150,10 @@ type outcome struct {
 	triggered []int
 	finding   *detect.Finding
 	cycles    int64
+	// intvls is the merged per-point best reqsIntvl of the dual execution.
+	// It is populated when retention needs it or an Observer is attached
+	// (the per-point best-interval metrics), and nil otherwise.
+	intvls map[int]int64
 }
 
 // runOne executes one fuzzing iteration: generate or mutate a testcase,
@@ -165,9 +185,13 @@ func (w *worker) runOne() outcome {
 		cycles:    exA.Cycles + exB.Cycles,
 	}
 
+	if w.retention || w.opt.Observer != nil {
+		out.intvls = monitor.MergeMinIntervals(exA.Snap, exB.Snap)
+	}
+
 	// Feedback: retention + adaptive direction update.
 	if w.retention {
-		intvls := mergeIntervals(exA.Snap, exB.Snap)
+		intvls := out.intvls
 		dir := +1
 		switch {
 		case w.opt.RandomDirection:
@@ -192,7 +216,9 @@ func (w *worker) runOne() outcome {
 			// §6.2.1 relies on both directions being explored.
 			dir = 1 - 2*w.rng.Intn(2)
 		}
-		if s := w.corpus.Offer(tc, intvls, dir, target); s != nil {
+		s := w.corpus.Offer(tc, intvls, dir, target)
+		w.opt.Observer.MutationOffered(s != nil)
+		if s != nil {
 			w.newSeeds = append(w.newSeeds, s)
 		}
 	}
@@ -236,10 +262,18 @@ type statsAccum struct {
 	d   *DUT // any worker's DUT: the analysis (and point IDs) are identical
 	opt Options
 	st  *Stats
+	obs *obs.Observer
+	// best is the campaign-wide best reqsIntvl per point, tracked only for
+	// the observability gauges (the corpus keeps its own copy).
+	best map[int]int64
 }
 
 func newStatsAccum(d *DUT, opt Options) *statsAccum {
-	return &statsAccum{d: d, opt: opt, st: &Stats{TriggeredPoints: make(map[int]bool)}}
+	a := &statsAccum{d: d, opt: opt, st: &Stats{TriggeredPoints: make(map[int]bool)}, obs: opt.Observer}
+	if a.obs != nil {
+		a.best = make(map[int]int64)
+	}
+	return a
 }
 
 // apply folds one outcome; the global iteration index is the fold order.
@@ -252,6 +286,13 @@ func (a *statsAccum) apply(o outcome) {
 		if !st.TriggeredPoints[id] {
 			st.TriggeredPoints[id] = true
 			newPts++
+			if a.obs != nil {
+				intvl := int64(-1) // same-path trigger only: no distinct pair
+				if v, ok := o.intvls[id]; ok {
+					intvl = v
+				}
+				a.obs.PointTriggered(it, id, intvl)
+			}
 			if it <= 20 {
 				st.EarlyTriggered++
 				if singleValidDominated(a.d, id) {
@@ -273,9 +314,11 @@ func (a *statsAccum) apply(o outcome) {
 	}
 	if o.finding != nil {
 		cum++
+		a.obs.TimingDiff()
 		if a.opt.KeepFindings == 0 || len(st.Findings) < a.opt.KeepFindings {
 			st.Findings = append(st.Findings, o.finding)
 			st.FindingSeeds = append(st.FindingSeeds, o.tc)
+			a.obs.FindingDetected(it, len(st.Findings))
 		}
 	}
 	st.ExecutedCycles += o.cycles
@@ -285,32 +328,51 @@ func (a *statsAccum) apply(o outcome) {
 		CumPoints:      len(st.TriggeredPoints),
 		CumTimingDiffs: cum,
 	})
+	if a.obs != nil {
+		for id, v := range o.intvls {
+			if old, ok := a.best[id]; !ok || v < old {
+				a.best[id] = v
+				a.obs.SetBestInterval(id, v)
+			}
+		}
+		a.obs.IterationDone(it, newPts, len(st.TriggeredPoints), cum, o.cycles)
+	}
 }
 
-// Run executes a fuzzing campaign on the DUT.
+// finish emits the campaign-closing event once the final Stats fields
+// (CorpusSize) are in place.
+func (a *statsAccum) finish() {
+	if a.obs == nil {
+		return
+	}
+	st := a.st
+	var last IterStats
+	if n := len(st.PerIteration); n > 0 {
+		last = st.PerIteration[n-1]
+	}
+	a.obs.CampaignEnd(len(st.PerIteration), last.CumPoints, last.CumTimingDiffs,
+		len(st.Findings), st.CorpusSize, st.ExecutedCycles)
+}
+
+// Run executes a fuzzing campaign on the DUT. Progress is reported through
+// opt.Observer (when set) in execution order, one event group per
+// iteration.
+//
+// Only the distinct-request interval (the volatile-contention approach
+// metric, §6.2.1) feeds the corpus — see monitor.MergeMinIntervals;
+// same-path progress is driven by the data-similarity mutation instead
+// (§6.2.2), which proved more effective than steering selection by
+// same-path intervals.
 func Run(d *DUT, opt Options) *Stats {
 	w := newWorker(d, opt, rand.New(rand.NewSource(opt.Seed)))
 	acc := newStatsAccum(d, opt)
+	opt.Observer.CampaignStart(d.Analysis.Netlist.Name(), opt.Iterations, 1, 0, opt.Seed)
 	for it := 0; it < opt.Iterations; it++ {
 		acc.apply(w.runOne())
 	}
 	acc.st.CorpusSize = w.corpus.Len()
+	acc.finish()
 	return acc.st
-}
-
-// mergeIntervals takes the per-point minimum across the two secret runs.
-// Only the distinct-request interval (the volatile-contention approach
-// metric, §6.2.1) feeds the corpus; same-path progress is driven by the
-// data-similarity mutation instead (§6.2.2), which proved more effective
-// than steering selection by same-path intervals.
-func mergeIntervals(a, b *monitor.Snapshot) map[int]int64 {
-	m := a.MinIntervals()
-	for id, v := range b.MinIntervals() {
-		if old, ok := m[id]; !ok || v < old {
-			m[id] = v
-		}
-	}
-	return m
 }
 
 // singleValidDominated reports whether a point's triggering is dominated by

@@ -3,6 +3,7 @@ package fuzz
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // defaultBatchSize is the per-worker iteration count between two corpus
@@ -20,7 +21,11 @@ const defaultBatchSize = 32
 // Determinism contract: worker w draws from rand.NewSource(opt.Seed+w), the
 // batch schedule is static, and merges happen in worker order, so a
 // campaign is reproducible for a fixed (Seed, Workers, BatchSize) — and
-// Workers <= 1 reproduces Run's serial campaign exactly.
+// Workers <= 1 reproduces Run's serial campaign exactly. The contract
+// extends to observability: opt.Observer's events are emitted only here on
+// the coordinator, in fold order, so the merged event stream (and
+// Stats.PerIteration, which it mirrors) is byte-identical across runs;
+// worker goroutines update atomic metrics only.
 func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 	workers := opt.Workers
 	if workers < 1 {
@@ -58,11 +63,14 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 	}
 
 	acc := newStatsAccum(ws[0].d, opt)
+	opt.Observer.CampaignStart(ws[0].d.Analysis.Netlist.Name(), opt.Iterations, workers, batch, opt.Seed)
 	global := NewCorpus()
 	outs := make([][]outcome, workers)
-	for left := opt.Iterations; left > 0; {
+	for left, round := opt.Iterations, 0; left > 0; {
+		round++
 		// Parallel phase: each worker drains one batch against its private
-		// corpus view.
+		// corpus view. Workers report utilization metrics themselves
+		// (atomics); events stay with the coordinator below.
 		for i, w := range ws {
 			n := rem[i]
 			if n > batch {
@@ -75,7 +83,9 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 			wg.Add(1)
 			go func(w *worker, i, n int) {
 				defer wg.Done()
+				start := time.Now()
 				outs[i] = w.runBatch(n)
+				opt.Observer.WorkerBatch(i, n, time.Since(start))
 			}(w, i, n)
 		}
 		wg.Wait()
@@ -83,12 +93,15 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 		// Merge phase, canonical worker order: fold outcomes into the
 		// global stats and re-offer retained seeds to the global corpus
 		// (re-offering drops seeds another worker has already beaten).
+		mergeStart := time.Now()
+		merged := 0
 		for i, w := range ws {
 			for _, o := range outs[i] {
 				acc.apply(o)
 			}
 			rem[i] -= len(outs[i])
 			left -= len(outs[i])
+			merged += len(outs[i])
 			for _, s := range w.takeNewSeeds() {
 				global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
 			}
@@ -98,7 +111,9 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 		for _, w := range ws {
 			w.corpus = global.Snapshot()
 		}
+		opt.Observer.BatchMerged(round, merged, global.Len(), time.Since(mergeStart))
 	}
 	acc.st.CorpusSize = global.Len()
+	acc.finish()
 	return acc.st
 }

@@ -87,6 +87,21 @@ func (s *Snapshot) MinIntervals() map[int]int64 {
 	return m
 }
 
+// MergeMinIntervals takes the per-point minimum distinct-request interval
+// across two snapshots — the merged reqsIntvl feedback of one
+// dual-execution (the same testcase run under both secrets). Both the
+// fuzzer's corpus retention rule and the observability layer's per-point
+// best-interval metrics consume this view.
+func MergeMinIntervals(a, b *Snapshot) map[int]int64 {
+	m := a.MinIntervals()
+	for id, v := range b.MinIntervals() {
+		if old, ok := m[id]; !ok || v < old {
+			m[id] = v
+		}
+	}
+	return m
+}
+
 // SameIntervals returns the consecutive same-path reqsIntvl per point ID —
 // the persistent-contention approach metric (paper §6.2.2). A point appears
 // only if some request path was observed at least twice; triggering is

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// CLIObserver builds the Observer behind the -metrics/-events/-progress
+// flags shared by cmd/sonar and cmd/sonar-bench:
+//
+//   - metricsPath: Prometheus exposition text written by finish after the
+//     campaign ("" = none, "-" = stdout);
+//   - eventsPath: live JSONL event stream ("" = none);
+//   - metricsAddr: optional address serving /metrics during the run;
+//   - progress/progressEvery: live progress line (nil or <= 0 = none).
+//
+// When every output is disabled it returns a nil Observer (free on the
+// campaign hot path) and a no-op finish. finish closes the sinks, then
+// writes the metrics file; call it exactly once, after the campaign.
+func CLIObserver(metricsPath, eventsPath, metricsAddr string, progress io.Writer, progressEvery int) (*Observer, func() error, error) {
+	noop := func() error { return nil }
+	var sinks []Sink
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return nil, noop, fmt.Errorf("events sink: %w", err)
+		}
+		sinks = append(sinks, NewJSONLSink(f))
+	}
+	if progress != nil && progressEvery > 0 {
+		sinks = append(sinks, NewProgressSink(progress, progressEvery))
+	}
+	if len(sinks) == 0 && metricsPath == "" && metricsAddr == "" {
+		return nil, noop, nil
+	}
+
+	o := New(sinks...)
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", o.Metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: metrics server: %v\n", err)
+			}
+		}()
+	}
+	finish := func() error {
+		err := o.Close()
+		if metricsPath != "" {
+			text := []byte(o.Metrics.ExpositionText())
+			var werr error
+			if metricsPath == "-" {
+				_, werr = os.Stdout.Write(text)
+			} else {
+				werr = os.WriteFile(metricsPath, text, 0o644)
+			}
+			if err == nil {
+				err = werr
+			}
+		}
+		return err
+	}
+	return o, finish, nil
+}

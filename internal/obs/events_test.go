@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: CampaignStart, Seq: 1, DUT: "boom", Iterations: 3, Workers: 2, BatchSize: 8, Seed: 7},
+		{Kind: PointTriggered, Seq: 2, Iteration: 1, Point: 0, Interval: 0},
+		{Kind: IterationDone, Seq: 3, Iteration: 1, NewPoints: 1, CumPoints: 1, Cycles: 120},
+		{Kind: FindingDetected, Seq: 4, Iteration: 2, Findings: 1},
+		{Kind: BatchMerged, Seq: 5, Batch: 1, MergedIterations: 2, CorpusSize: 1},
+		{Kind: CampaignEnd, Seq: 6, Iterations: 3, CumPoints: 1, CumTimingDiffs: 1, Findings: 1, CorpusSize: 1, Cycles: 360},
+	}
+}
+
+// The JSONL encoding must round-trip exactly: unmarshal every line, compare
+// structs, re-marshal, compare bytes. Point/interval zeroes (point ID 0,
+// simultaneous-arrival interval 0) are meaningful and must survive.
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	in := sampleEvents()
+	for _, e := range in {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(in) {
+		t.Fatalf("%d lines, want %d", len(lines), len(in))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if e != in[i] {
+			t.Errorf("line %d round-trip mismatch:\n got %+v\nwant %+v", i, e, in[i])
+		}
+		re, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(re) != line {
+			t.Errorf("line %d re-marshal differs:\n got %s\nwant %s", i, re, line)
+		}
+	}
+}
+
+func TestMemorySinkBytesMatchesJSONL(t *testing.T) {
+	mem := NewMemorySink()
+	var buf bytes.Buffer
+	jl := NewJSONLSink(&buf)
+	for _, e := range sampleEvents() {
+		mem.Emit(e)
+		jl.Emit(e)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem.Bytes(), buf.Bytes()) {
+		t.Error("MemorySink.Bytes differs from the JSONL encoding")
+	}
+	if got := mem.Events(); len(got) != len(sampleEvents()) || got[0] != sampleEvents()[0] {
+		t.Errorf("MemorySink.Events = %+v", got)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := NewMemorySink(), NewMemorySink()
+	s := Tee(a, b)
+	s.Emit(Event{Kind: CampaignStart, Seq: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Error("tee did not forward to all sinks")
+	}
+}
+
+func TestProgressSinkRendersLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressSink(&buf, 1)
+	p.Emit(Event{Kind: CampaignStart, DUT: "boom", Iterations: 2, Workers: 1})
+	p.Emit(Event{Kind: IterationDone, Iteration: 1, CumPoints: 3})
+	p.Emit(Event{Kind: CampaignEnd, Iterations: 2, CumPoints: 4, Findings: 1})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"campaign boom", "points=3", "points=4", "findings=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%q", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("progress output does not end the final line")
+	}
+}
+
+func TestObserverNilIsFree(t *testing.T) {
+	var o *Observer
+	o.CampaignStart("boom", 10, 1, 0, 1)
+	o.PointTriggered(1, 0, 0)
+	o.FindingDetected(1, 1)
+	o.IterationDone(1, 0, 0, 0, 0)
+	o.TimingDiff()
+	o.BatchMerged(1, 8, 0, time.Millisecond)
+	o.CampaignEnd(10, 0, 0, 0, 0, 0)
+	o.MutationOffered(true)
+	o.WorkerBatch(0, 8, time.Millisecond)
+	o.SetBestInterval(0, 3)
+	o.DUTInfo("boom", 1, 2, 3)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverSequencesEventsAndUpdatesMetrics(t *testing.T) {
+	mem := NewMemorySink()
+	o := New(mem)
+	o.DUTInfo("boom", 100, 40, 30)
+	o.CampaignStart("boom", 2, 1, 32, 1)
+	o.PointTriggered(1, 5, 0)
+	o.SetBestInterval(5, 0)
+	o.IterationDone(1, 1, 1, 0, 100)
+	o.TimingDiff()
+	o.FindingDetected(2, 1)
+	o.IterationDone(2, 0, 1, 1, 50)
+	o.MutationOffered(true)
+	o.MutationOffered(false)
+	o.CampaignEnd(2, 1, 1, 1, 1, 150)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := mem.Events()
+	if len(evs) != 6 {
+		t.Fatalf("%d events, want 6", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if evs[0].Kind != CampaignStart || evs[len(evs)-1].Kind != CampaignEnd {
+		t.Error("stream not bracketed by campaign start/end")
+	}
+
+	series, err := ParseExposition(o.Metrics.ExpositionText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		MetricIterations:                   2,
+		MetricTriggeredPoints:              1,
+		MetricTimingDiffs:                  1,
+		MetricFindings:                     1,
+		MetricCorpusSize:                   1,
+		MetricCycles:                       150,
+		MetricMutationsOffered:             2,
+		MetricMutationsAccepted:            1,
+		MetricMutationAccept:               0.5,
+		MetricBestInterval + `{point="5"}`: 0,
+		MetricNaiveMuxes:                   100,
+		MetricTracedPoints:                 40,
+		MetricMonitoredPoints:              30,
+		MetricDUTInfo + `{design="boom"}`:  1,
+	}
+	for k, v := range want {
+		if series[k] != v {
+			t.Errorf("%s = %v, want %v", k, series[k], v)
+		}
+	}
+}

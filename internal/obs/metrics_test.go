@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	g := m.Gauge("g", "a gauge")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+	h := m.Histogram("h_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	if h.Count() != 3 {
+		t.Errorf("histogram count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 5.55 {
+		t.Errorf("histogram sum = %v, want 5.55", h.Sum())
+	}
+}
+
+func TestRegistrationIsGetOrCreate(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("x_total", "")
+	b := m.Counter("x_total", "")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	m.Gauge("x_total", "")
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var gv *GaugeVec
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.At("x").Inc()
+	gv.At("x").Set(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics reported non-zero values")
+	}
+}
+
+func TestExpositionTextIsValidAndComplete(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b_total", "counts b").Add(7)
+	m.Gauge("a", "measures a").Set(2.5)
+	v := m.GaugeVec("labeled", "per-thing", "thing")
+	v.At("9").Set(3)
+	v.At("10").Set(4)
+	h := m.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	text := m.ExpositionText()
+	series, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	want := map[string]float64{
+		"b_total":                       7,
+		"a":                             2.5,
+		`labeled{thing="10"}`:           4,
+		`labeled{thing="9"}`:            3,
+		`lat_seconds_bucket{le="0.01"}`: 1,
+		`lat_seconds_bucket{le="0.1"}`:  2,
+		`lat_seconds_bucket{le="+Inf"}`: 3,
+		"lat_seconds_count":             3,
+	}
+	for k, v := range want {
+		if series[k] != v {
+			t.Errorf("series %s = %v, want %v\n%s", k, series[k], v, text)
+		}
+	}
+	// Families sorted by name, each with HELP and TYPE headers.
+	if !strings.Contains(text, "# HELP a measures a\n# TYPE a gauge\n") {
+		t.Errorf("missing HELP/TYPE header for a:\n%s", text)
+	}
+	if strings.Index(text, "# TYPE a gauge") > strings.Index(text, "# TYPE b_total counter") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	mk := func() string {
+		m := NewMetrics()
+		v := m.CounterVec("v_total", "", "id")
+		for _, id := range []string{"3", "1", "2"} {
+			v.At(id).Inc()
+		}
+		m.Gauge("g", "").Set(1)
+		return m.ExpositionText()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("hits_total", "hits").Inc()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if _, err := ParseExposition(rec.Body.String()); err != nil {
+		t.Errorf("served exposition does not parse: %v", err)
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value",
+		"1badname 3",
+		"name notanumber",
+		"name{unterminated 3",
+	} {
+		if _, err := ParseExposition(bad); err == nil {
+			t.Errorf("ParseExposition(%q) accepted garbage", bad)
+		}
+	}
+	if got, err := ParseExposition("# a comment\n\nok_name{l=\"x\"} 4.5\n"); err != nil || got[`ok_name{l="x"}`] != 4.5 {
+		t.Errorf("valid line rejected: %v %v", got, err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package obs is Sonar's campaign observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, histograms with
+// Prometheus text exposition) and a structured campaign event stream
+// (CampaignStart .. CampaignEnd) with pluggable sinks — a JSONL file sink,
+// an in-memory sink for tests, and a live progress renderer.
+//
+// The two halves meet in the Observer, the hook the fuzzing engines accept
+// via fuzz.Options.Observer. Its design constraints, in order:
+//
+//  1. A nil Observer costs ~nothing: every method is safe and a no-op on a
+//     nil receiver, so the hot path pays one predictable branch.
+//  2. Determinism of the merged campaign is untouched: events are emitted
+//     only by the campaign coordinator, in canonical iteration order, and
+//     carry no wall-clock fields — a parallel campaign's event stream is
+//     byte-identical across runs for a fixed (Seed, Workers, BatchSize).
+//     Worker goroutines touch only atomic metrics (never the event stream).
+//  3. Metrics are cheap: atomics on the hot path, locks only at labeled-
+//     series creation and exposition time.
+//
+// See docs/OBSERVABILITY.md for the metric and event name reference.
+package obs
+
+import (
+	"errors"
+	"strconv"
+	"time"
+)
+
+// Standard campaign metric names (the full reference, including label
+// dimensions, is docs/OBSERVABILITY.md).
+const (
+	MetricIterations        = "sonar_iterations_total"
+	MetricIterationsPerSec  = "sonar_iterations_per_second"
+	MetricTriggeredPoints   = "sonar_triggered_points"
+	MetricTimingDiffs       = "sonar_timing_diffs_total"
+	MetricFindings          = "sonar_findings_total"
+	MetricCorpusSize        = "sonar_corpus_size"
+	MetricCycles            = "sonar_cycles_total"
+	MetricMutationsOffered  = "sonar_mutations_offered_total"
+	MetricMutationsAccepted = "sonar_mutations_accepted_total"
+	MetricMutationAccept    = "sonar_mutation_accept_rate"
+	MetricWorkerIterations  = "sonar_worker_iterations_total"
+	MetricWorkerBusy        = "sonar_worker_busy_seconds_total"
+	MetricBestInterval      = "sonar_point_best_interval"
+	MetricMergeLatency      = "sonar_batch_merge_seconds"
+	MetricNaiveMuxes        = "sonar_dut_naive_muxes"
+	MetricTracedPoints      = "sonar_dut_traced_points"
+	MetricMonitoredPoints   = "sonar_dut_monitored_points"
+	MetricDUTInfo           = "sonar_dut_info"
+)
+
+// Observer publishes campaign metrics and forwards campaign events to its
+// sinks. Create one with New; a nil *Observer is a valid, free-of-charge
+// null implementation of every method.
+//
+// Event-emitting methods (CampaignStart, PointTriggered, FindingDetected,
+// IterationDone, BatchMerged, CampaignEnd) must be called from a single
+// goroutine at a time — the campaign coordinator does. Metric-only methods
+// (MutationOffered, WorkerBatch, SetBestInterval, DUTInfo) are safe from
+// worker goroutines.
+type Observer struct {
+	// Metrics is the registry backing the campaign metrics; callers may
+	// register additional metrics on it and serve it via Metrics.Handler.
+	Metrics *Metrics
+
+	sinks []Sink
+	seq   int
+
+	campaignStart time.Time
+	itersAtStart  int64
+
+	iterations  *Counter
+	ips         *Gauge
+	triggered   *Gauge
+	timingDiffs *Counter
+	findings    *Counter
+	corpus      *Gauge
+	cycles      *Counter
+	mutOffered  *Counter
+	mutAccepted *Counter
+	mutRate     *Gauge
+	workerIters *CounterVec
+	workerBusy  *GaugeVec
+	bestIntvl   *GaugeVec
+	mergeLat    *Histogram
+	naiveMuxes  *Gauge
+	tracedPts   *Gauge
+	monitored   *Gauge
+	dutInfo     *GaugeVec
+}
+
+// New returns an Observer with the standard campaign metrics registered
+// and the given event sinks attached.
+func New(sinks ...Sink) *Observer {
+	m := NewMetrics()
+	return &Observer{
+		Metrics:     m,
+		sinks:       sinks,
+		iterations:  m.Counter(MetricIterations, "Fuzzing iterations executed."),
+		ips:         m.Gauge(MetricIterationsPerSec, "Fuzzing iteration throughput of the current campaign."),
+		triggered:   m.Gauge(MetricTriggeredPoints, "Distinct contention points triggered."),
+		timingDiffs: m.Counter(MetricTimingDiffs, "Testcases exposing a secret-dependent timing difference."),
+		findings:    m.Counter(MetricFindings, "Retained dual-differential findings."),
+		corpus:      m.Gauge(MetricCorpusSize, "Seeds in the (merged) corpus."),
+		cycles:      m.Counter(MetricCycles, "Simulated cycles executed."),
+		mutOffered:  m.Counter(MetricMutationsOffered, "Testcases offered to the corpus retention rule."),
+		mutAccepted: m.Counter(MetricMutationsAccepted, "Testcases retained by the corpus (interval-improving)."),
+		mutRate:     m.Gauge(MetricMutationAccept, "Fraction of offered testcases retained."),
+		workerIters: m.CounterVec(MetricWorkerIterations, "Iterations executed per parallel worker.", "worker"),
+		workerBusy:  m.GaugeVec(MetricWorkerBusy, "Batch-execution seconds per parallel worker.", "worker"),
+		bestIntvl:   m.GaugeVec(MetricBestInterval, "Best (minimum) distinct-request reqsIntvl per contention point.", "point"),
+		mergeLat: m.Histogram(MetricMergeLatency, "Coordinator batch merge latency.",
+			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
+		naiveMuxes: m.Gauge(MetricNaiveMuxes, "2:1 MUX count before bottom-up tracing."),
+		tracedPts:  m.Gauge(MetricTracedPoints, "Contention points after bottom-up tracing."),
+		monitored:  m.Gauge(MetricMonitoredPoints, "Contention points surviving the risk filter."),
+		dutInfo:    m.GaugeVec(MetricDUTInfo, "Constant 1, labeled with the DUT design name.", "design"),
+	}
+}
+
+// emit assigns the next sequence number and fans the event out. Callers
+// are the coordinator-side event methods only.
+func (o *Observer) emit(e Event) {
+	o.seq++
+	e.Seq = o.seq
+	for _, s := range o.sinks {
+		s.Emit(e)
+	}
+}
+
+// CampaignStart opens a campaign. workers and batchSize are the effective
+// (post-clamp) values.
+func (o *Observer) CampaignStart(dut string, iterations, workers, batchSize int, seed int64) {
+	if o == nil {
+		return
+	}
+	o.campaignStart = time.Now()
+	o.itersAtStart = o.iterations.Value()
+	o.emit(Event{
+		Kind: CampaignStart, DUT: dut,
+		Iterations: iterations, Workers: workers, BatchSize: batchSize, Seed: seed,
+	})
+}
+
+// PointTriggered records the first trigger of a contention point. interval
+// is the best distinct-request reqsIntvl the triggering testcase observed
+// at the point, or -1 when only a same-path (persistent) trigger occurred.
+func (o *Observer) PointTriggered(iteration, point int, interval int64) {
+	if o == nil {
+		return
+	}
+	o.emit(Event{Kind: PointTriggered, Iteration: iteration, Point: point, Interval: interval})
+}
+
+// FindingDetected records a retained dual-differential finding.
+func (o *Observer) FindingDetected(iteration, findings int) {
+	if o == nil {
+		return
+	}
+	o.findings.Inc()
+	o.emit(Event{Kind: FindingDetected, Iteration: iteration, Findings: findings})
+}
+
+// IterationDone closes one canonical iteration.
+func (o *Observer) IterationDone(iteration, newPoints, cumPoints, cumTimingDiffs int, cycles int64) {
+	if o == nil {
+		return
+	}
+	o.iterations.Inc()
+	o.triggered.Set(float64(cumPoints))
+	o.cycles.Add(cycles)
+	o.emit(Event{
+		Kind: IterationDone, Iteration: iteration,
+		NewPoints: newPoints, CumPoints: cumPoints, CumTimingDiffs: cumTimingDiffs,
+		Cycles: cycles,
+	})
+}
+
+// TimingDiff counts one secret-dependent timing difference (also the ones
+// whose findings are dropped by Options.KeepFindings).
+func (o *Observer) TimingDiff() {
+	if o == nil {
+		return
+	}
+	o.timingDiffs.Inc()
+}
+
+// BatchMerged closes one parallel merge round. The latency feeds the merge
+// histogram only — events carry no wall-clock fields.
+func (o *Observer) BatchMerged(batch, mergedIterations, corpusSize int, latency time.Duration) {
+	if o == nil {
+		return
+	}
+	o.corpus.Set(float64(corpusSize))
+	o.mergeLat.Observe(latency.Seconds())
+	o.updateRate()
+	o.emit(Event{
+		Kind: BatchMerged, Batch: batch,
+		MergedIterations: mergedIterations, CorpusSize: corpusSize,
+	})
+}
+
+// CampaignEnd closes a campaign with its final statistics.
+func (o *Observer) CampaignEnd(iterations, cumPoints, cumTimingDiffs, findings, corpusSize int, cycles int64) {
+	if o == nil {
+		return
+	}
+	o.corpus.Set(float64(corpusSize))
+	o.updateRate()
+	o.emit(Event{
+		Kind: CampaignEnd, Iterations: iterations,
+		CumPoints: cumPoints, CumTimingDiffs: cumTimingDiffs,
+		Findings: findings, CorpusSize: corpusSize, Cycles: cycles,
+	})
+}
+
+func (o *Observer) updateRate() {
+	el := time.Since(o.campaignStart).Seconds()
+	if o.campaignStart.IsZero() || el <= 0 {
+		return
+	}
+	o.ips.Set(float64(o.iterations.Value()-o.itersAtStart) / el)
+}
+
+// MutationOffered counts one corpus retention decision. Metrics only;
+// safe from worker goroutines.
+func (o *Observer) MutationOffered(accepted bool) {
+	if o == nil {
+		return
+	}
+	o.mutOffered.Inc()
+	if accepted {
+		o.mutAccepted.Inc()
+	}
+	o.mutRate.Set(float64(o.mutAccepted.Value()) / float64(o.mutOffered.Value()))
+}
+
+// WorkerBatch accounts one drained batch to a worker's utilization
+// metrics. Metrics only; safe from worker goroutines.
+func (o *Observer) WorkerBatch(worker, iterations int, busy time.Duration) {
+	if o == nil {
+		return
+	}
+	w := strconv.Itoa(worker)
+	o.workerIters.At(w).Add(int64(iterations))
+	o.workerBusy.At(w).Add(busy.Seconds())
+}
+
+// SetBestInterval publishes an improved per-point best reqsIntvl. Metrics
+// only; the coordinator calls it on improvement.
+func (o *Observer) SetBestInterval(point int, interval int64) {
+	if o == nil {
+		return
+	}
+	o.bestIntvl.At(strconv.Itoa(point)).Set(float64(interval))
+}
+
+// DUTInfo publishes the static-analysis gauges for the device under test.
+func (o *Observer) DUTInfo(design string, naiveMuxes, tracedPoints, monitoredPoints int) {
+	if o == nil {
+		return
+	}
+	o.dutInfo.At(design).Set(1)
+	o.naiveMuxes.Set(float64(naiveMuxes))
+	o.tracedPts.Set(float64(tracedPoints))
+	o.monitored.Set(float64(monitoredPoints))
+}
+
+// Close closes every attached sink, joining their errors. The Observer
+// (and its metrics) stay readable afterwards.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	var errs []error
+	for _, s := range o.sinks {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

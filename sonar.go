@@ -30,12 +30,15 @@
 package sonar
 
 import (
+	"io"
+
 	"sonar/internal/attack"
 	"sonar/internal/baseline"
 	"sonar/internal/boom"
 	"sonar/internal/core"
 	"sonar/internal/fuzz"
 	"sonar/internal/nutshell"
+	"sonar/internal/obs"
 	"sonar/internal/uarch"
 )
 
@@ -57,10 +60,31 @@ type (
 	AttackResult = attack.Result
 	// SoC is an elaborated system model.
 	SoC = uarch.SoC
+	// Observer collects campaign metrics and streams campaign events;
+	// attach one via Options.Observer (see docs/OBSERVABILITY.md).
+	Observer = obs.Observer
+	// Event is one structured campaign event.
+	Event = obs.Event
+	// EventKind discriminates campaign events.
+	EventKind = obs.Kind
+	// Sink receives campaign events in emit order.
+	Sink = obs.Sink
+	// MemorySink buffers events in memory (tests, programmatic consumers).
+	MemorySink = obs.MemorySink
 )
 
 // KeyBytes is the privileged key size used by exploitability analysis.
 const KeyBytes = attack.KeyBytes
+
+// Campaign event kinds (docs/OBSERVABILITY.md).
+const (
+	CampaignStart   = obs.CampaignStart
+	IterationDone   = obs.IterationDone
+	PointTriggered  = obs.PointTriggered
+	FindingDetected = obs.FindingDetected
+	BatchMerged     = obs.BatchMerged
+	CampaignEnd     = obs.CampaignEnd
+)
 
 // NewBoom builds the Sonar pipeline over the single-core BOOM-like DUT
 // with its full structural netlist.
@@ -81,6 +105,19 @@ func NewNutshell() *Sonar { return core.New(nutshell.New) }
 // NewNutshellLite builds the pipeline over the NutShell-like DUT without
 // bulk structural arrays.
 func NewNutshellLite() *Sonar { return core.New(nutshell.NewLite) }
+
+// NewObserver builds a campaign Observer fanning events out to the sinks.
+func NewObserver(sinks ...Sink) *Observer { return obs.New(sinks...) }
+
+// NewJSONLSink streams events to w as JSON Lines.
+func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
+
+// NewMemorySink buffers events in memory.
+func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// NewProgressSink renders a live progress line to w every `every`
+// iterations.
+func NewProgressSink(w io.Writer, every int) Sink { return obs.NewProgressSink(w, every) }
 
 // SonarOptions returns the full guided-fuzzing strategy set (§6.2).
 func SonarOptions(iterations int) Options { return fuzz.SonarOptions(iterations) }
