@@ -33,11 +33,12 @@ func main() {
 		iters   = flag.Int("iters", 400, "campaign iterations for Figures 8/10/11 (paper: 3000)")
 		trials  = flag.Int("trials", 7, "PoC trials per key bit for Table 3 / exploitation")
 		workers = flag.Int("workers", 4, "worker count for the parallel-engine scaling experiment")
-		only    = flag.String("only", "", "comma-separated subset: table1,fig6,fig7,table2,fig8,fig9,fig10,fig11,table3,exploit,mitigations,parallel")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig6,fig7,table2,fig8,fig9,fig10,fig11,table3,exploit,mitigations,parallel,durability")
 
-		metrics  = flag.String("metrics", "", "write Prometheus exposition text here after the run (- = stdout)")
-		events   = flag.String("events", "", "stream campaign events to this JSONL file")
-		progress = flag.Int("progress", 0, "print a live progress line to stderr every N iterations (0 = off)")
+		metrics     = flag.String("metrics", "", "write Prometheus exposition text here after the run (- = stdout)")
+		events      = flag.String("events", "", "stream campaign events to this JSONL file")
+		progress    = flag.Int("progress", 0, "print a live progress line to stderr every N iterations (0 = off)")
+		iterTimeout = flag.Duration("iter-timeout", 0, "per-iteration deadline for parallel experiment campaigns (0 = off)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	experiments.SetObserver(observer)
+	experiments.SetIterTimeout(*iterTimeout)
 	defer func() {
 		if err := finish(); err != nil {
 			log.Fatal(err)
@@ -79,4 +81,5 @@ func main() {
 	run("exploit", func() { fmt.Print(experiments.RenderExploitation(experiments.Exploitation(1, *trials+2))) })
 	run("mitigations", func() { fmt.Print(experiments.RenderMitigations(experiments.Mitigations(*trials))) })
 	run("parallel", func() { fmt.Print(experiments.RenderParallel(experiments.Parallel(*iters, *workers))) })
+	run("durability", func() { fmt.Print(experiments.RenderDurability(experiments.Durability(*iters, *workers))) })
 }

@@ -4,9 +4,14 @@
 //   - every package under internal/ must carry a godoc package comment
 //     starting with "Package <name>";
 //   - every main package under cmd/ and examples/ must carry a package
-//     comment (the command/example synopsis).
+//     comment (the command/example synopsis);
+//   - within the engine's operations surface (internal/fuzz and
+//     internal/obs, subpackages included), every exported identifier —
+//     functions, methods on exported types, types, consts, vars, and
+//     struct fields — must carry a doc comment.
 //
-// It parses package clauses only, so it is fast and needs no build.
+// The package-comment pass parses package clauses only; the
+// exported-identifier pass parses the full files of the trees it covers.
 //
 // Usage:
 //
@@ -15,6 +20,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -23,6 +29,14 @@ import (
 	"sort"
 	"strings"
 )
+
+// exportedLintTrees are the packages held to the exported-identifier
+// documentation floor — the operator-facing surface of docs/CAMPAIGNS.md
+// and docs/OBSERVABILITY.md.
+var exportedLintTrees = []string{
+	filepath.Join("internal", "fuzz"),
+	filepath.Join("internal", "obs"),
+}
 
 func main() {
 	root := "."
@@ -38,12 +52,20 @@ func main() {
 		}
 		problems = append(problems, p...)
 	}
+	for _, dir := range exportedLintTrees {
+		p, err := lintExportedTree(filepath.Join(root, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonar-doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
 		}
-		fmt.Fprintf(os.Stderr, "sonar-doclint: %d package(s) lack documentation\n", len(problems))
+		fmt.Fprintf(os.Stderr, "sonar-doclint: %d documentation problem(s)\n", len(problems))
 		os.Exit(1)
 	}
 }
@@ -73,6 +95,111 @@ func lintTree(root string, strict bool) ([]string, error) {
 		return nil
 	})
 	return problems, err
+}
+
+// lintExportedTree walks a package tree and reports every exported
+// identifier without a doc comment. Methods are linted only on exported
+// receiver types (unexported types' exported methods are usually interface
+// plumbing); const/var specs accept the declaration group's comment or a
+// trailing line comment.
+func lintExportedTree(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		report := func(pos token.Pos, what, name string) {
+			p := fset.Position(pos)
+			problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if d.Recv != nil {
+					recv, exported := receiverName(d.Recv)
+					if !exported {
+						continue
+					}
+					report(d.Pos(), "method", recv+"."+d.Name.Name)
+				} else {
+					report(d.Pos(), "function", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				lintGenDecl(d, report)
+			}
+		}
+		return nil
+	})
+	return problems, err
+}
+
+// lintGenDecl checks the exported types, consts, vars, and struct fields of
+// one declaration group.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				for _, field := range st.Fields.List {
+					if field.Doc != nil || field.Comment != nil {
+						continue
+					}
+					for _, n := range field.Names {
+						if n.IsExported() {
+							report(field.Pos(), "field", s.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(s.Pos(), kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's type name and whether it is
+// exported.
+func receiverName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, id.IsExported()
 }
 
 // packageDoc returns the longest package doc comment among dir's non-test

@@ -18,6 +18,13 @@
 //	sonar -metrics metrics.prom -events events.jsonl  # file outputs
 //	sonar -metrics - -progress 50                     # exposition on stdout, live line
 //	sonar -metrics-addr :9090                         # live /metrics endpoint
+//
+// Durable campaigns (see docs/CAMPAIGNS.md):
+//
+//	sonar -iters 10000 -checkpoint run.ckpt           # periodic snapshots
+//	sonar -resume run.ckpt                            # continue after a crash/kill
+//	sonar -checkpoint run.ckpt -max-rounds 20         # time-sliced campaign
+//	sonar -workers 8 -iter-timeout 30s                # abort+retry wedged iterations
 package main
 
 import (
@@ -54,8 +61,25 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics on this address during the campaign")
 		events      = flag.String("events", "", "stream campaign events to this JSONL file")
 		progress    = flag.Int("progress", 0, "print a live progress line to stderr every N iterations (0 = off)")
+
+		checkpoint  = flag.String("checkpoint", "", "write periodic campaign checkpoints to this file (docs/CAMPAIGNS.md)")
+		ckptEvery   = flag.Int("checkpoint-every", 500, "iterations between periodic checkpoints")
+		resume      = flag.String("resume", "", "resume the campaign from this checkpoint file")
+		iterTimeout = flag.Duration("iter-timeout", 0, "per-iteration deadline; wedged batches are retried on a replacement worker (0 = off)")
+		maxRounds   = flag.Int("max-rounds", 0, "pause after N merge rounds, writing a checkpoint to resume from (0 = run to completion)")
 	)
 	flag.Parse()
+
+	// A checkpoint pins the campaign shape, including the dual-core
+	// template choice — load it before elaborating the DUT.
+	var cp *fuzz.Checkpoint
+	if *resume != "" {
+		var err error
+		if cp, err = fuzz.LoadCheckpoint(*resume); err != nil {
+			log.Fatal(err)
+		}
+		*dual = cp.Shape.DualCore
+	}
 
 	var s *core.Sonar
 	switch {
@@ -101,6 +125,22 @@ func main() {
 	opt.DualCore = *dual
 	opt.KeepFindings = 32
 	opt.Workers = *workers
+	if cp != nil {
+		// The checkpoint's shape overrides the shape flags: resuming a
+		// campaign under a different seed or strategy would break the
+		// bit-identity contract, so the flags above are ignored.
+		opt = cp.CampaignOptions()
+		if got := s.DUT.Analysis.Netlist.Name(); got != cp.DUT {
+			log.Fatalf("checkpoint %s was taken on DUT %q, -dut selects %q", *resume, cp.DUT, got)
+		}
+		if *checkpoint == "" {
+			*checkpoint = *resume // keep checkpointing to the same file
+		}
+	}
+	opt.Checkpoint = *checkpoint
+	opt.CheckpointEvery = *ckptEvery
+	opt.IterTimeout = *iterTimeout
+	opt.MaxRounds = *maxRounds
 
 	observer, finish, err := obs.CLIObserver(*metrics, *events, *metricsAddr, os.Stderr, *progress)
 	if err != nil {
@@ -108,12 +148,25 @@ func main() {
 	}
 	opt.Observer = observer
 
-	fmt.Printf("fuzzing %d iterations (retention=%v selection=%v directed=%v dual=%v workers=%d)...\n",
-		opt.Iterations, opt.Retention || opt.Selection || opt.DirectedMutation,
-		opt.Selection || opt.DirectedMutation, opt.DirectedMutation, opt.DualCore, *workers)
-	st := s.Fuzz(opt)
+	var st *fuzz.Stats
+	if cp != nil {
+		fmt.Printf("resuming %s: %d/%d iterations done (round %d, %d corpus seeds)...\n",
+			*resume, cp.Done, cp.Shape.Iterations, cp.Round, len(cp.Corpus.Seeds))
+		if st, err = s.Resume(opt, cp); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("fuzzing %d iterations (retention=%v selection=%v directed=%v dual=%v workers=%d)...\n",
+			opt.Iterations, opt.Retention || opt.Selection || opt.DirectedMutation,
+			opt.Selection || opt.DirectedMutation, opt.DirectedMutation, opt.DualCore, *workers)
+		st = s.Fuzz(opt)
+	}
 	if err := finish(); err != nil {
 		log.Fatal(err)
+	}
+	if done := len(st.PerIteration); *maxRounds > 0 && done < opt.Iterations && *checkpoint != "" {
+		fmt.Printf("paused after %d merge rounds at iteration %d/%d; resume with -resume %s\n",
+			*maxRounds, done, opt.Iterations, *checkpoint)
 	}
 	last := st.PerIteration[len(st.PerIteration)-1]
 	fmt.Printf("triggered %d contention points, %d testcases exposed secret-dependent timing differences\n",

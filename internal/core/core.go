@@ -97,16 +97,29 @@ func (s *Sonar) Identify() *IdentificationReport {
 }
 
 // Fuzz runs a state-guided fuzzing campaign (§6) with dual-differential
-// detection (§7). Campaigns with Options.Workers > 1 are dispatched to the
-// sharded parallel engine. An attached Options.Observer additionally
-// receives the DUT's identification gauges, so one metrics scrape relates
-// campaign coverage to the point population.
+// detection (§7). Campaigns with Options.Workers > 1 — or using the
+// durability surface (checkpointing, MaxRounds pausing, fault tolerance),
+// which lives in the parallel engine — are dispatched to FuzzParallel;
+// Workers <= 1 there still reproduces the serial campaign exactly. An
+// attached Options.Observer additionally receives the DUT's identification
+// gauges, so one metrics scrape relates campaign coverage to the point
+// population.
 func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
-	if opt.Workers > 1 {
+	if opt.Workers > 1 || opt.Checkpoint != "" || opt.MaxRounds > 0 ||
+		opt.IterTimeout > 0 || opt.FaultHook != nil {
 		return s.FuzzParallel(opt)
 	}
 	s.observeIdentification(opt.Observer)
 	return fuzz.Run(s.DUT, opt)
+}
+
+// Resume continues a checkpointed campaign (fuzz.Resume) on DUTs elaborated
+// from the retained SoC constructor. opt is typically
+// cp.CampaignOptions() plus operational overrides; see fuzz.Resume for the
+// shape-matching and bit-identity contract.
+func (s *Sonar) Resume(opt fuzz.Options, cp *fuzz.Checkpoint) (*fuzz.Stats, error) {
+	s.observeIdentification(opt.Observer)
+	return fuzz.Resume(func() *fuzz.DUT { return fuzz.NewDUT(s.mk()) }, opt, cp)
 }
 
 // FuzzParallel runs a sharded campaign: Options.Workers workers, each on a

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"time"
+
 	"sonar/internal/fuzz"
 	"sonar/internal/obs"
 )
@@ -16,8 +18,20 @@ var campaignObserver *obs.Observer
 // Pass nil to detach. Not safe to call while an experiment is running.
 func SetObserver(o *obs.Observer) { campaignObserver = o }
 
-// observed returns opt with the package Observer attached.
+// campaignIterTimeout is the per-iteration deadline applied to every
+// observed experiment campaign; see SetIterTimeout.
+var campaignIterTimeout time.Duration
+
+// SetIterTimeout applies a per-iteration deadline (fuzz.Options.IterTimeout)
+// to every subsequent experiment campaign that runs on the parallel engine;
+// serial campaigns ignore it. Zero disables the deadline. Not safe to call
+// while an experiment is running.
+func SetIterTimeout(d time.Duration) { campaignIterTimeout = d }
+
+// observed returns opt with the package Observer (and the configured
+// iteration deadline) attached.
 func observed(opt fuzz.Options) fuzz.Options {
 	opt.Observer = campaignObserver
+	opt.IterTimeout = campaignIterTimeout
 	return opt
 }

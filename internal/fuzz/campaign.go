@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"math/rand"
+	"time"
 
 	"sonar/internal/detect"
 	"sonar/internal/monitor"
@@ -55,6 +56,60 @@ type Options struct {
 	// event stream of a parallel campaign is byte-identical across runs
 	// for a fixed (Seed, Workers, BatchSize).
 	Observer *obs.Observer
+
+	// The remaining fields form the durability surface of the parallel
+	// engine (docs/CAMPAIGNS.md); Run ignores them, and core.Sonar.Fuzz
+	// routes campaigns that use them through RunParallel (Workers <= 1
+	// still reproduces the serial campaign exactly).
+
+	// Checkpoint, when non-empty, is the file periodic campaign snapshots
+	// are written to (atomically, via temp-file+rename) at batch-merge
+	// barriers. A checkpoint restores through Resume into a campaign
+	// bit-identical to an uninterrupted run for the same (Seed, Workers,
+	// BatchSize).
+	Checkpoint string
+	// CheckpointEvery is the iteration period between checkpoints
+	// (0 = defaultCheckpointEvery). Checkpoints are cut at the first merge
+	// barrier at or past each multiple; a final checkpoint always marks
+	// campaign completion.
+	CheckpointEvery int
+	// MaxRounds, when positive, pauses the campaign after that many merge
+	// rounds of this run: a checkpoint is written (when Checkpoint is set)
+	// and the partial Stats are returned without a campaign_end event, so
+	// a later Resume byte-continues the event stream. Time-sliced
+	// campaigns on shared hosts are the intended use.
+	MaxRounds int
+	// IterTimeout is the per-iteration deadline for parallel workers; a
+	// batch of n iterations is aborted after n*IterTimeout and retried on
+	// a replacement worker, recovering campaigns from wedged simulations.
+	// 0 disables the deadline (worker panics are still recovered).
+	IterTimeout time.Duration
+	// MaxRetries is the number of replacement-worker retries after a
+	// failed (panicked or timed-out) batch before the shard is abandoned
+	// (0 = default 2, negative = no retries). A retried batch replays from
+	// the shard's pre-batch RNG cursor and corpus snapshot, so recovered
+	// campaigns match the fault-free run exactly.
+	MaxRetries int
+	// RetryBackoff is the base delay before a batch retry, doubled per
+	// attempt and capped at 16x (0 = default 50ms). Backoff only delays
+	// wall-clock recovery; it never affects campaign results.
+	RetryBackoff time.Duration
+	// FaultHook, when non-nil, is invoked by parallel workers before every
+	// iteration — the seam the deterministic fault-injection harness
+	// (package faultinject) uses to schedule worker panics and stalls.
+	// Production campaigns leave it nil.
+	FaultHook FaultHook
+}
+
+// FaultHook is the fault-injection seam of the parallel engine: workers
+// call BeforeIteration(worker, round, iter) before each iteration of a
+// batch, from the worker goroutine. Implementations may panic or block to
+// exercise the engine's recovery paths; package faultinject provides
+// deterministic schedules. Implementations must be safe for concurrent use.
+type FaultHook interface {
+	// BeforeIteration is called with the worker index, the 1-based merge
+	// round, and the 0-based iteration index within the current batch.
+	BeforeIteration(worker, round, iter int)
 }
 
 // SonarOptions returns the full Sonar strategy set.
@@ -108,7 +163,9 @@ type Stats struct {
 	// testcases whose requests are dominated by a single valid signal
 	// (paper Figure 9); EarlyTriggered is the total in that window.
 	SingleValidTriggered int
-	EarlyTriggered       int
+	// EarlyTriggered is the total number of points triggered within the
+	// first 20 testcases (the Figure 9 window).
+	EarlyTriggered int
 	// EarlyBreakdown records, for each of the first 20 testcases, how many
 	// newly triggered points were single-valid dominated vs not (the bars
 	// of paper Figure 9).
@@ -124,12 +181,19 @@ type Stats struct {
 // RunParallel runs several concurrently and merges their feedback between
 // batches.
 type worker struct {
+	// id is the worker's shard index (0 for the serial engine) — the value
+	// fault events and the FaultHook report.
+	id        int
 	d         *DUT
 	rng       *rand.Rand
 	corpus    *Corpus
 	opt       Options
 	retention bool
 	selection bool
+	// src is the counted RNG source behind rng for shard workers; its
+	// cursor is the worker's serializable RNG position (nil for the serial
+	// engine, which never checkpoints).
+	src *countedSource
 	// newSeeds are the seeds retained since the last takeNewSeeds call —
 	// the delta the parallel coordinator re-offers to the global corpus.
 	newSeeds []*Seed
@@ -141,6 +205,19 @@ func newWorker(d *DUT, opt Options, rng *rand.Rand) *worker {
 		retention: opt.Retention || opt.Selection || opt.DirectedMutation,
 		selection: opt.Selection || opt.DirectedMutation,
 	}
+}
+
+// newShardWorker builds a parallel shard worker whose RNG is a counted
+// source seeded with opt.Seed+id and fast-forwarded to cursor. A cursor of
+// zero gives the exact draw sequence of rand.New(rand.NewSource(opt.Seed+id))
+// — the parallel determinism contract — and a checkpointed cursor restores
+// the worker's mid-campaign RNG position.
+func newShardWorker(id int, d *DUT, opt Options, cursor uint64) *worker {
+	src := newCountedSource(opt.Seed+int64(id), cursor)
+	w := newWorker(d, opt, rand.New(src))
+	w.id = id
+	w.src = src
+	return w
 }
 
 // outcome is one iteration's contribution to campaign statistics, in a form
@@ -225,10 +302,16 @@ func (w *worker) runOne() outcome {
 	return out
 }
 
-// runBatch executes n iterations and returns their outcomes in order.
-func (w *worker) runBatch(n int) []outcome {
+// runBatch executes n iterations of merge round `round` and returns their
+// outcomes in order. The FaultHook seam fires before each iteration, from
+// this (worker) goroutine — a scheduled panic or stall therefore surfaces
+// exactly where a real worker fault would.
+func (w *worker) runBatch(n, round int) []outcome {
 	outs := make([]outcome, n)
 	for i := range outs {
+		if h := w.opt.FaultHook; h != nil {
+			h.BeforeIteration(w.id, round, i)
+		}
 		outs[i] = w.runOne()
 	}
 	return outs

@@ -1,0 +1,400 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sonar/internal/detect"
+)
+
+// Checkpoint file format (docs/CAMPAIGNS.md has the operator-facing
+// reference): a single header line
+//
+//	#sonar-checkpoint v1 crc32=xxxxxxxx
+//
+// followed by one JSON object (the Checkpoint struct). The CRC32 (IEEE) of
+// the JSON payload is stored in the header, so truncated or bit-flipped
+// checkpoints are rejected at load time, and the version gates format
+// evolution. Files are written atomically: serialize to a temp file in the
+// destination directory, fsync, then rename over the target — a crash
+// mid-write leaves the previous checkpoint intact.
+const (
+	checkpointMagic   = "#sonar-checkpoint"
+	checkpointVersion = 1
+	// defaultCheckpointEvery is the iteration period between periodic
+	// checkpoints when Options.CheckpointEvery is zero.
+	defaultCheckpointEvery = 500
+)
+
+// Shape is the campaign-defining subset of Options — the fields that make
+// two campaigns the same campaign. Resume refuses a checkpoint whose shape
+// differs from the offered Options; operational fields (checkpoint paths,
+// timeouts, retry policy, Observer, FaultHook) are not part of the shape
+// and may change across a pause/resume boundary.
+type Shape struct {
+	Iterations       int    `json:"iterations"`        // Options.Iterations
+	Seed             int64  `json:"seed"`              // Options.Seed
+	Retention        bool   `json:"retention"`         // Options.Retention
+	Selection        bool   `json:"selection"`         // Options.Selection
+	DirectedMutation bool   `json:"directed_mutation"` // Options.DirectedMutation
+	DualCore         bool   `json:"dual_core"`         // Options.DualCore
+	SecretA          uint64 `json:"secret_a"`          // Options.SecretA
+	SecretB          uint64 `json:"secret_b"`          // Options.SecretB
+	KeepFindings     int    `json:"keep_findings"`     // Options.KeepFindings
+	RandomDirection  bool   `json:"random_direction"`  // Options.RandomDirection
+	// Workers and BatchSize are the effective (post-clamp) values; the
+	// parallel determinism contract is per (Seed, Workers, BatchSize).
+	Workers   int `json:"workers"`
+	BatchSize int `json:"batch_size"` // effective batch, like Workers
+}
+
+// shapeOf extracts a campaign's shape from its Options.
+func shapeOf(opt Options) Shape {
+	workers, batch := normalizeParallel(opt)
+	return Shape{
+		Iterations: opt.Iterations, Seed: opt.Seed,
+		Retention: opt.Retention, Selection: opt.Selection,
+		DirectedMutation: opt.DirectedMutation, DualCore: opt.DualCore,
+		SecretA: opt.SecretA, SecretB: opt.SecretB,
+		KeepFindings: opt.KeepFindings, RandomDirection: opt.RandomDirection,
+		Workers: workers, BatchSize: batch,
+	}
+}
+
+// pointIntvl is one per-point best-interval entry. Checkpoints store
+// interval maps as point-sorted slices so the serialized form is
+// byte-deterministic (Go map iteration order is randomized).
+type pointIntvl struct {
+	Point int   `json:"point"`
+	Intvl int64 `json:"intvl"`
+}
+
+// sortIntvls converts an interval map to its canonical checkpoint form.
+func sortIntvls(m map[int]int64) []pointIntvl {
+	out := make([]pointIntvl, 0, len(m))
+	for id, v := range m {
+		out = append(out, pointIntvl{Point: id, Intvl: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// unsortIntvls rebuilds the interval map of a checkpointed slice.
+func unsortIntvls(s []pointIntvl) map[int]int64 {
+	m := make(map[int]int64, len(s))
+	for _, pi := range s {
+		m[pi.Point] = pi.Intvl
+	}
+	return m
+}
+
+// checkpointSeed is one retained corpus seed in checkpoint form: the
+// testcase in its Marshal (annotated assembly) encoding plus the feedback
+// that earned its place.
+type checkpointSeed struct {
+	TC     string       `json:"tc"`
+	Intvls []pointIntvl `json:"intvls"`
+	Dir    int          `json:"dir"`
+	Target int          `json:"target"`
+}
+
+// checkpointCorpus is the global corpus in checkpoint form: the retained
+// seeds in retention order and the per-point global best intervals.
+type checkpointCorpus struct {
+	Seeds []checkpointSeed `json:"seeds"`
+	Best  []pointIntvl     `json:"best"`
+}
+
+// checkpointStats is Stats in checkpoint form: map fields become sorted
+// slices and finding seeds are stored in their Marshal encoding.
+type checkpointStats struct {
+	PerIteration         []IterStats       `json:"per_iteration"`
+	Findings             []*detect.Finding `json:"findings"`
+	FindingSeeds         []string          `json:"finding_seeds"`
+	Triggered            []int             `json:"triggered"`
+	SingleValidTriggered int               `json:"single_valid_triggered"`
+	EarlyTriggered       int               `json:"early_triggered"`
+	EarlyBreakdown       [][2]int          `json:"early_breakdown"`
+	CorpusSize           int               `json:"corpus_size"`
+	ExecutedCycles       int64             `json:"executed_cycles"`
+	// Best is the accumulator's per-point best-interval view (the one
+	// backing the best-interval gauges); tracked only when an Observer is
+	// attached, and re-seeded on resume so gauge continuity survives the
+	// restart.
+	Best []pointIntvl `json:"best"`
+}
+
+// Checkpoint is a self-describing snapshot of a parallel campaign at a
+// merge barrier: everything Resume needs to continue the campaign
+// bit-identically — corpus, statistics, per-shard iteration budgets and RNG
+// cursors, and the event-stream position. Produced by campaigns with
+// Options.Checkpoint set and by LoadCheckpoint.
+type Checkpoint struct {
+	// Version is the checkpoint format version (checkpointVersion).
+	Version int `json:"version"`
+	// DUT is the netlist name of the device under test (informational; the
+	// resuming process supplies its own DUT constructor).
+	DUT string `json:"dut"`
+	// Shape identifies the campaign; Resume validates it.
+	Shape Shape `json:"shape"`
+	// Done is the campaign position in iterations: executed iterations
+	// plus any dropped by abandoned shards. Done + sum(Rem) always equals
+	// Shape.Iterations.
+	Done int `json:"done"`
+	// Round is the number of completed merge rounds.
+	Round int `json:"round"`
+	// Rem is the remaining iteration budget per shard (0 for drained or
+	// abandoned shards).
+	Rem []int `json:"rem"`
+	// Cursors is the RNG draw count per shard; resume replays each shard's
+	// generator to its cursor.
+	Cursors []uint64 `json:"cursors"`
+	// EventSeq is the sequence number of the last emitted event, so a
+	// resumed campaign's event stream continues the original numbering.
+	EventSeq int `json:"event_seq"`
+	// Complete marks the final checkpoint of a finished campaign; resuming
+	// a complete checkpoint returns its Stats without executing anything.
+	Complete bool `json:"complete"`
+	// Stats is the accumulated campaign statistics.
+	Stats checkpointStats `json:"stats"`
+	// Corpus is the merged global corpus.
+	Corpus checkpointCorpus `json:"corpus"`
+}
+
+// snapshot captures the coordinator's position as a Checkpoint. Called only
+// at merge barriers, where workers are quiescent and their corpora equal
+// global.Snapshot().
+func (c *coordinator) snapshot(complete bool) *Checkpoint {
+	cp := &Checkpoint{
+		Version:  checkpointVersion,
+		DUT:      c.dut,
+		Shape:    shapeOf(c.opt),
+		Done:     c.opt.Iterations - c.left,
+		Round:    c.round,
+		Rem:      append([]int(nil), c.rem...),
+		Cursors:  make([]uint64, c.workers),
+		EventSeq: c.opt.Observer.Seq(),
+		Complete: complete,
+	}
+	for i, w := range c.ws {
+		if w != nil && w.src != nil {
+			cp.Cursors[i] = w.src.cursor()
+		}
+	}
+	st := c.acc.st
+	cp.Stats = checkpointStats{
+		PerIteration:         append([]IterStats(nil), st.PerIteration...),
+		Findings:             append([]*detect.Finding(nil), st.Findings...),
+		FindingSeeds:         make([]string, len(st.FindingSeeds)),
+		SingleValidTriggered: st.SingleValidTriggered,
+		EarlyTriggered:       st.EarlyTriggered,
+		EarlyBreakdown:       append([][2]int(nil), st.EarlyBreakdown...),
+		CorpusSize:           c.global.Len(),
+		ExecutedCycles:       st.ExecutedCycles,
+	}
+	for i, tc := range st.FindingSeeds {
+		cp.Stats.FindingSeeds[i] = tc.Marshal()
+	}
+	cp.Stats.Triggered = make([]int, 0, len(st.TriggeredPoints))
+	for id := range st.TriggeredPoints {
+		cp.Stats.Triggered = append(cp.Stats.Triggered, id)
+	}
+	sort.Ints(cp.Stats.Triggered)
+	if c.acc.best != nil {
+		cp.Stats.Best = sortIntvls(c.acc.best)
+	}
+	cp.Corpus.Seeds = make([]checkpointSeed, len(c.global.seeds))
+	for i, s := range c.global.seeds {
+		cp.Corpus.Seeds[i] = checkpointSeed{
+			TC: s.TC.Marshal(), Intvls: sortIntvls(s.Intvls),
+			Dir: s.Dir, Target: s.Target,
+		}
+	}
+	cp.Corpus.Best = sortIntvls(c.global.best)
+	return cp
+}
+
+// stats rebuilds the Stats (and the accumulator's best-interval view) of a
+// checkpoint.
+func (cp *Checkpoint) stats() (*Stats, []pointIntvl, error) {
+	s := &cp.Stats
+	st := &Stats{
+		PerIteration:         append([]IterStats(nil), s.PerIteration...),
+		Findings:             append([]*detect.Finding(nil), s.Findings...),
+		TriggeredPoints:      make(map[int]bool, len(s.Triggered)),
+		SingleValidTriggered: s.SingleValidTriggered,
+		EarlyTriggered:       s.EarlyTriggered,
+		EarlyBreakdown:       append([][2]int(nil), s.EarlyBreakdown...),
+		CorpusSize:           s.CorpusSize,
+		ExecutedCycles:       s.ExecutedCycles,
+	}
+	for _, id := range s.Triggered {
+		st.TriggeredPoints[id] = true
+	}
+	st.FindingSeeds = make([]*Testcase, len(s.FindingSeeds))
+	for i, src := range s.FindingSeeds {
+		tc, err := Unmarshal(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fuzz: checkpoint finding seed %d: %w", i, err)
+		}
+		st.FindingSeeds[i] = tc
+	}
+	return st, s.Best, nil
+}
+
+// corpus rebuilds the global corpus of a checkpoint.
+func (cp *Checkpoint) corpus() (*Corpus, error) {
+	c := NewCorpus()
+	c.seeds = make([]*Seed, len(cp.Corpus.Seeds))
+	for i, cs := range cp.Corpus.Seeds {
+		tc, err := Unmarshal(cs.TC)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: checkpoint corpus seed %d: %w", i, err)
+		}
+		c.seeds[i] = &Seed{
+			TC: tc, Intvls: unsortIntvls(cs.Intvls),
+			Dir: cs.Dir, Target: cs.Target,
+		}
+	}
+	c.best = unsortIntvls(cp.Corpus.Best)
+	return c, nil
+}
+
+// CampaignOptions returns the Options that re-create the checkpointed
+// campaign's shape. Callers layer their operational choices (Checkpoint
+// path, Observer, timeouts) on top before passing the result to Resume.
+func (cp *Checkpoint) CampaignOptions() Options {
+	s := cp.Shape
+	return Options{
+		Iterations: s.Iterations, Seed: s.Seed,
+		Retention: s.Retention, Selection: s.Selection,
+		DirectedMutation: s.DirectedMutation, DualCore: s.DualCore,
+		SecretA: s.SecretA, SecretB: s.SecretB,
+		KeepFindings: s.KeepFindings, RandomDirection: s.RandomDirection,
+		Workers: s.Workers, BatchSize: s.BatchSize,
+	}
+}
+
+// validate sanity-checks a checkpoint's structural invariants. Load-time
+// corruption is caught by the header CRC; validate guards against
+// semantically impossible payloads (hand-edited files, version skew).
+func (cp *Checkpoint) validate() error {
+	if cp == nil {
+		return fmt.Errorf("fuzz: nil checkpoint")
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("fuzz: unsupported checkpoint version %d (want %d)", cp.Version, checkpointVersion)
+	}
+	if len(cp.Rem) != cp.Shape.Workers || len(cp.Cursors) != cp.Shape.Workers {
+		return fmt.Errorf("fuzz: checkpoint has %d shard budgets / %d cursors for %d workers",
+			len(cp.Rem), len(cp.Cursors), cp.Shape.Workers)
+	}
+	rem := 0
+	for i, r := range cp.Rem {
+		if r < 0 {
+			return fmt.Errorf("fuzz: checkpoint shard %d has negative budget %d", i, r)
+		}
+		rem += r
+	}
+	if cp.Done < 0 || cp.Done+rem != cp.Shape.Iterations {
+		return fmt.Errorf("fuzz: checkpoint position %d+%d does not cover %d iterations",
+			cp.Done, rem, cp.Shape.Iterations)
+	}
+	if len(cp.Stats.FindingSeeds) != len(cp.Stats.Findings) {
+		return fmt.Errorf("fuzz: checkpoint has %d finding seeds for %d findings",
+			len(cp.Stats.FindingSeeds), len(cp.Stats.Findings))
+	}
+	if cp.Complete && rem != 0 {
+		return fmt.Errorf("fuzz: complete checkpoint with %d iterations remaining", rem)
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically (temp file + fsync + rename) and
+// returns the file size in bytes. The previous checkpoint at path survives
+// any failure.
+func (cp *Checkpoint) Save(path string) (int, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return 0, fmt.Errorf("fuzz: marshal checkpoint: %w", err)
+	}
+	header := fmt.Sprintf("%s v%d crc32=%08x\n", checkpointMagic, cp.Version, crc32.ChecksumIEEE(payload))
+
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".sonar-checkpoint-*")
+	if err != nil {
+		return 0, fmt.Errorf("fuzz: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) (int, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if _, err := f.WriteString(header); err != nil {
+		return cleanup(fmt.Errorf("fuzz: write checkpoint: %w", err))
+	}
+	if _, err := f.Write(payload); err != nil {
+		return cleanup(fmt.Errorf("fuzz: write checkpoint: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("fuzz: sync checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("fuzz: close checkpoint: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("fuzz: chmod checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("fuzz: publish checkpoint: %w", err)
+	}
+	return len(header) + len(payload), nil
+}
+
+// LoadCheckpoint reads and verifies a checkpoint file: header magic and
+// version, payload CRC32 (rejecting truncated or corrupted files), JSON
+// decoding, and the structural invariants of validate.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: read checkpoint: %w", err)
+	}
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("fuzz: %s: not a checkpoint (missing header line)", path)
+	}
+	header, payload := string(data[:nl]), data[nl+1:]
+	var version int
+	var sum uint32
+	if n, err := fmt.Sscanf(header, checkpointMagic+" v%d crc32=%08x", &version, &sum); err != nil || n != 2 {
+		return nil, fmt.Errorf("fuzz: %s: not a checkpoint (bad header %q)", path, header)
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("fuzz: %s: unsupported checkpoint version %d (want %d)", path, version, checkpointVersion)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("fuzz: %s: checkpoint corrupt or truncated (crc32 %08x, header says %08x)", path, got, sum)
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(payload, cp); err != nil {
+		return nil, fmt.Errorf("fuzz: %s: decode checkpoint: %w", path, err)
+	}
+	if err := cp.validate(); err != nil {
+		return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	return cp, nil
+}

@@ -9,6 +9,7 @@ import (
 
 // Seed is a retained testcase with the feedback that earned its place.
 type Seed struct {
+	// TC is the retained testcase itself.
 	TC *Testcase
 	// Intvls is the per-point minimum distinct-request interval observed
 	// when this seed executed.

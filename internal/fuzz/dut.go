@@ -53,9 +53,9 @@ const (
 // DUT bundles an elaborated SoC with its contention-point analysis and
 // instrumentation, ready to execute testcases.
 type DUT struct {
-	SoC      *uarch.SoC
-	Analysis *trace.Analysis
-	Mon      *monitor.Monitor
+	SoC      *uarch.SoC       // the elaborated device
+	Analysis *trace.Analysis  // §5 contention-point identification results
+	Mon      *monitor.Monitor // reqsIntvl/state monitor over Analysis' points
 	// WindowAlwaysOpen disables the secret-dependent monitoring window:
 	// states are collected over the whole execution (the §6.1 ablation).
 	WindowAlwaysOpen bool

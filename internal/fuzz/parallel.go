@@ -1,7 +1,7 @@
 package fuzz
 
 import (
-	"math/rand"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -11,6 +11,53 @@ import (
 // iteration, so a few dozen iterations amortize the merge barrier while
 // keeping retention/selection feedback near-global.
 const defaultBatchSize = 32
+
+// Fault-tolerance defaults (see the Options fields of the same names).
+const (
+	defaultMaxRetries   = 2
+	defaultRetryBackoff = 50 * time.Millisecond
+	// maxBackoffShift caps the exponential retry backoff at base<<4 = 16x.
+	maxBackoffShift = 4
+)
+
+// coordinator is the state of one parallel campaign run: the shard workers,
+// the static iteration budget per shard, the global corpus, and the stats
+// accumulator. RunParallel and Resume both construct one and drive run().
+type coordinator struct {
+	newDUT  func() *DUT
+	opt     Options
+	dut     string // netlist name, for checkpoints and campaign_start
+	workers int
+	batch   int
+	ws      []*worker // nil entry = abandoned shard
+	rem     []int     // remaining iterations per shard
+	left    int       // total remaining iterations
+	round   int       // merge rounds completed (cumulative across resumes)
+	acc     *statsAccum
+	global  *Corpus
+	// lastSaved and nextCkpt drive periodic checkpointing: a checkpoint is
+	// cut at the first merge barrier at or past every nextCkpt iterations.
+	lastSaved int
+	nextCkpt  int
+}
+
+// normalizeParallel returns the effective (post-clamp) worker count and
+// batch size of a parallel campaign — the values CampaignStart reports and
+// a checkpoint's shape stores.
+func normalizeParallel(opt Options) (workers, batch int) {
+	workers = opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if opt.Iterations > 0 && workers > opt.Iterations {
+		workers = opt.Iterations
+	}
+	batch = opt.BatchSize
+	if batch <= 0 {
+		batch = defaultBatchSize
+	}
+	return workers, batch
+}
 
 // RunParallel executes a sharded fuzzing campaign: Options.Workers workers,
 // each owning a private DUT built by newDUT, execute batches of testcases
@@ -26,18 +73,17 @@ const defaultBatchSize = 32
 // the coordinator, in fold order, so the merged event stream (and
 // Stats.PerIteration, which it mirrors) is byte-identical across runs;
 // worker goroutines update atomic metrics only.
+//
+// Durability (docs/CAMPAIGNS.md): with Options.Checkpoint set, the
+// coordinator writes an atomic campaign snapshot at merge barriers every
+// CheckpointEvery iterations; Resume restores one into a campaign whose
+// remaining iterations — Stats and event stream included — are identical
+// to the uninterrupted run. Worker panics and (with IterTimeout) wedged
+// iterations are recovered by retrying the batch on a replacement worker;
+// a shard that keeps failing is abandoned and the campaign completes on
+// the remaining workers.
 func RunParallel(newDUT func() *DUT, opt Options) *Stats {
-	workers := opt.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if opt.Iterations > 0 && workers > opt.Iterations {
-		workers = opt.Iterations
-	}
-	batch := opt.BatchSize
-	if batch <= 0 {
-		batch = defaultBatchSize
-	}
+	workers, batch := normalizeParallel(opt)
 
 	// One private DUT per worker; elaboration and analysis are independent
 	// and deterministic, so build them concurrently.
@@ -47,7 +93,7 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ws[i] = newWorker(newDUT(), opt, rand.New(rand.NewSource(opt.Seed+int64(i))))
+			ws[i] = newShardWorker(i, newDUT(), opt, 0)
 		}(i)
 	}
 	wg.Wait()
@@ -62,58 +108,350 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 		}
 	}
 
-	acc := newStatsAccum(ws[0].d, opt)
-	opt.Observer.CampaignStart(ws[0].d.Analysis.Netlist.Name(), opt.Iterations, workers, batch, opt.Seed)
-	global := NewCorpus()
-	outs := make([][]outcome, workers)
-	for left, round := opt.Iterations, 0; left > 0; {
-		round++
-		// Parallel phase: each worker drains one batch against its private
-		// corpus view. Workers report utilization metrics themselves
-		// (atomics); events stay with the coordinator below.
-		for i, w := range ws {
-			n := rem[i]
-			if n > batch {
-				n = batch
-			}
-			if n == 0 {
-				outs[i] = nil
-				continue
-			}
-			wg.Add(1)
-			go func(w *worker, i, n int) {
-				defer wg.Done()
-				start := time.Now()
-				outs[i] = w.runBatch(n)
-				opt.Observer.WorkerBatch(i, n, time.Since(start))
-			}(w, i, n)
-		}
-		wg.Wait()
-
-		// Merge phase, canonical worker order: fold outcomes into the
-		// global stats and re-offer retained seeds to the global corpus
-		// (re-offering drops seeds another worker has already beaten).
-		mergeStart := time.Now()
-		merged := 0
-		for i, w := range ws {
-			for _, o := range outs[i] {
-				acc.apply(o)
-			}
-			rem[i] -= len(outs[i])
-			left -= len(outs[i])
-			merged += len(outs[i])
-			for _, s := range w.takeNewSeeds() {
-				global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
-			}
-		}
-
-		// Distribute: every worker restarts from the merged global view.
-		for _, w := range ws {
-			w.corpus = global.Snapshot()
-		}
-		opt.Observer.BatchMerged(round, merged, global.Len(), time.Since(mergeStart))
+	c := &coordinator{
+		newDUT: newDUT, opt: opt, dut: ws[0].d.Analysis.Netlist.Name(),
+		workers: workers, batch: batch,
+		ws: ws, rem: rem, left: opt.Iterations,
+		acc: newStatsAccum(ws[0].d, opt), global: NewCorpus(),
+		lastSaved: -1, nextCkpt: checkpointEvery(opt),
 	}
-	acc.st.CorpusSize = global.Len()
-	acc.finish()
-	return acc.st
+	opt.Observer.CampaignStart(c.dut, opt.Iterations, workers, batch, opt.Seed)
+	return c.run()
+}
+
+// Resume continues a checkpointed campaign. opt must describe the same
+// campaign shape (Seed, Workers, BatchSize, iteration budget, strategy
+// switches) as the checkpoint; operational fields (Checkpoint,
+// CheckpointEvery, MaxRounds, IterTimeout, retry policy, Observer,
+// FaultHook) are free to differ — the usual way to build opt is
+// cp.CampaignOptions() plus operational overrides.
+//
+// The resumed campaign is bit-identical to the uninterrupted run: the final
+// Stats match, and the event stream emitted after Resume byte-continues the
+// stream the interrupted run emitted before the checkpoint (sequence
+// numbers included; no campaign_start is re-emitted).
+func Resume(newDUT func() *DUT, opt Options, cp *Checkpoint) (*Stats, error) {
+	if err := cp.validate(); err != nil {
+		return nil, err
+	}
+	if got, want := shapeOf(opt), cp.Shape; got != want {
+		return nil, fmt.Errorf("fuzz: resume shape mismatch: options %+v vs checkpoint %+v", got, want)
+	}
+
+	st, best, err := cp.stats()
+	if err != nil {
+		return nil, err
+	}
+	global, err := cp.corpus()
+	if err != nil {
+		return nil, err
+	}
+
+	workers, batch := normalizeParallel(opt)
+	ws := make([]*worker, workers)
+	var wg sync.WaitGroup
+	for i := range ws {
+		if cp.Rem[i] == 0 {
+			continue // drained or abandoned shard: no DUT needed
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws[i] = newShardWorker(i, newDUT(), opt, cp.Cursors[i])
+			ws[i].corpus = global.Snapshot()
+		}(i)
+	}
+	wg.Wait()
+
+	acc := newStatsAccum(nil, opt)
+	acc.st = st
+	for _, w := range ws {
+		// Any live worker's DUT serves the accumulator: analysis (and point
+		// IDs) are identical across DUT instances.
+		if w != nil {
+			acc.d = w.d
+			break
+		}
+	}
+	if acc.best != nil {
+		for _, pi := range best {
+			acc.best[pi.Point] = pi.Intvl
+		}
+	}
+
+	var lastIter IterStats
+	if n := len(st.PerIteration); n > 0 {
+		lastIter = st.PerIteration[n-1]
+	}
+	opt.Observer.CampaignResumed(cp.EventSeq, len(st.PerIteration),
+		lastIter.CumPoints, lastIter.CumTimingDiffs, len(st.Findings),
+		global.Len(), st.ExecutedCycles)
+
+	c := &coordinator{
+		newDUT: newDUT, opt: opt, dut: cp.DUT, workers: workers, batch: batch,
+		ws: ws, rem: append([]int(nil), cp.Rem...), left: sum(cp.Rem),
+		round: cp.Round, acc: acc, global: global,
+		lastSaved: cp.Done, nextCkpt: nextCheckpointAfter(cp.Done, opt),
+	}
+	if cp.Complete || c.left == 0 {
+		// The checkpoint already marks completion (or nothing remains):
+		// finalize without re-executing or re-emitting campaign_end if the
+		// original run already emitted it.
+		c.acc.st.CorpusSize = c.global.Len()
+		if !cp.Complete {
+			c.writeCheckpoint(true)
+			c.acc.finish()
+		}
+		return c.acc.st, nil
+	}
+	return c.run(), nil
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// checkpointEvery resolves the effective checkpoint period.
+func checkpointEvery(opt Options) int {
+	if opt.CheckpointEvery > 0 {
+		return opt.CheckpointEvery
+	}
+	return defaultCheckpointEvery
+}
+
+// nextCheckpointAfter returns the first periodic checkpoint threshold
+// strictly past `done` iterations.
+func nextCheckpointAfter(done int, opt Options) int {
+	every := checkpointEvery(opt)
+	return (done/every + 1) * every
+}
+
+// run drives the campaign to completion (or a MaxRounds pause) and returns
+// the accumulated Stats.
+func (c *coordinator) run() *Stats {
+	roundsThisRun := 0
+	for c.left > 0 {
+		if c.opt.MaxRounds > 0 && roundsThisRun >= c.opt.MaxRounds {
+			// Pause: persist the position and return the partial Stats
+			// without campaign_end, so a later Resume byte-continues the
+			// event stream.
+			c.writeCheckpoint(false)
+			c.acc.st.CorpusSize = c.global.Len()
+			return c.acc.st
+		}
+		c.round++
+		roundsThisRun++
+		c.runRound()
+		if c.opt.Iterations-c.left >= c.nextCkpt {
+			c.writeCheckpoint(false)
+			c.nextCkpt = nextCheckpointAfter(c.opt.Iterations-c.left, c.opt)
+		}
+	}
+	c.acc.st.CorpusSize = c.global.Len()
+	c.writeCheckpoint(true)
+	c.acc.finish()
+	return c.acc.st
+}
+
+// runRound executes one batch round: the parallel phase (each live shard
+// drains one batch under the fault supervisor), the fault-event phase, and
+// the merge phase — the latter two in canonical worker order, keeping the
+// event stream deterministic.
+func (c *coordinator) runRound() {
+	outs := make([][]outcome, c.workers)
+	fails := make([][]string, c.workers)
+	recovered := make([]bool, c.workers)
+	var wg sync.WaitGroup
+	for i, w := range c.ws {
+		if w == nil {
+			continue
+		}
+		n := c.rem[i]
+		if n > c.batch {
+			n = c.batch
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			c.superviseShard(i, n, outs, fails, recovered)
+		}(i, n)
+	}
+	wg.Wait()
+
+	// Fault events first, in worker order: each failed attempt, then the
+	// recovery (or abandonment) disposition. Deterministic for a fixed
+	// fault schedule.
+	for i := range c.ws {
+		for a, reason := range fails[i] {
+			c.opt.Observer.WorkerFailed(i, c.round, a+1, reason)
+		}
+		if len(fails[i]) == 0 {
+			continue
+		}
+		if recovered[i] {
+			c.opt.Observer.BatchRetried(i, c.round, len(fails[i])+1)
+		} else {
+			// Abandon the shard: its budget is dropped and the campaign
+			// degrades to the remaining workers.
+			c.opt.Observer.WorkerFailed(i, c.round, len(fails[i]),
+				fmt.Sprintf("shard abandoned after %d failed attempts; %d iterations dropped", len(fails[i]), c.rem[i]))
+			c.left -= c.rem[i]
+			c.rem[i] = 0
+			c.ws[i] = nil
+		}
+	}
+
+	// Merge phase, canonical worker order: fold outcomes into the global
+	// stats and re-offer retained seeds to the global corpus (re-offering
+	// drops seeds another worker has already beaten).
+	mergeStart := time.Now()
+	merged := 0
+	for i, w := range c.ws {
+		if w == nil {
+			continue
+		}
+		for _, o := range outs[i] {
+			c.acc.apply(o)
+		}
+		c.rem[i] -= len(outs[i])
+		c.left -= len(outs[i])
+		merged += len(outs[i])
+		for _, s := range w.takeNewSeeds() {
+			c.global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
+		}
+	}
+
+	// Distribute: every worker restarts from the merged global view.
+	for _, w := range c.ws {
+		if w == nil {
+			continue
+		}
+		w.corpus = c.global.Snapshot()
+	}
+	c.opt.Observer.BatchMerged(c.round, merged, c.global.Len(), time.Since(mergeStart))
+}
+
+// superviseShard drains one batch of n iterations on shard i, retrying on a
+// replacement worker (with bounded exponential backoff) after a panic or
+// deadline abort. A successful retry replays the shard's pre-batch RNG
+// cursor against a fresh snapshot of the global corpus — the global corpus
+// is immutable during the parallel phase, so the replayed batch produces
+// outcomes identical to the fault-free run. After MaxRetries failed
+// retries the shard is left failed; the coordinator abandons it.
+func (c *coordinator) superviseShard(i, n int, outs [][]outcome, fails [][]string, recovered []bool) {
+	maxRetries := c.opt.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = defaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := c.opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	cursor := uint64(0)
+	if w := c.ws[i]; w != nil && w.src != nil {
+		cursor = w.src.cursor()
+	}
+	for attempt := 0; ; attempt++ {
+		w := c.ws[i]
+		if attempt > 0 {
+			shift := attempt - 1
+			if shift > maxBackoffShift {
+				shift = maxBackoffShift
+			}
+			time.Sleep(backoff << uint(shift))
+			w = nil // build a replacement inside the attempt goroutine
+		}
+		res, err := c.attemptBatch(w, i, n, cursor)
+		if err == nil {
+			outs[i] = res.outs
+			c.ws[i] = res.w
+			recovered[i] = attempt > 0
+			return
+		}
+		fails[i] = append(fails[i], err.Error())
+		if attempt >= maxRetries {
+			return
+		}
+	}
+}
+
+// attemptResult carries one successful batch attempt: its outcomes and the
+// worker that produced them (the original, or a freshly built replacement).
+type attemptResult struct {
+	outs []outcome
+	w    *worker
+}
+
+// attemptBatch runs one batch attempt in its own goroutine, recovering
+// panics and enforcing the per-batch deadline (n × IterTimeout). w == nil
+// means "build a replacement worker": a fresh DUT with the shard's RNG
+// replayed to the pre-batch cursor and a fresh global-corpus snapshot —
+// built inside the attempt goroutine so a panicking DUT constructor is
+// recovered like any other worker fault. An abandoned (stalled) attempt's
+// goroutine keeps only private state and sends into 1-buffered channels,
+// so it can finish late, or never, without racing or leaking a send.
+func (c *coordinator) attemptBatch(w *worker, i, n int, cursor uint64) (attemptResult, error) {
+	done := make(chan attemptResult, 1)
+	failed := make(chan string, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				failed <- fmt.Sprintf("worker panic: %v", r)
+			}
+		}()
+		if w == nil {
+			w = newShardWorker(i, c.newDUT(), c.opt, cursor)
+			w.corpus = c.global.Snapshot()
+		}
+		done <- attemptResult{outs: w.runBatch(n, c.round), w: w}
+	}()
+
+	var deadline <-chan time.Time
+	if c.opt.IterTimeout > 0 {
+		t := time.NewTimer(time.Duration(n) * c.opt.IterTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case res := <-done:
+		c.opt.Observer.WorkerBatch(i, n, time.Since(start))
+		return res, nil
+	case msg := <-failed:
+		return attemptResult{}, fmt.Errorf("%s", msg)
+	case <-deadline:
+		return attemptResult{}, fmt.Errorf("batch deadline exceeded (%d iterations × %v)", n, c.opt.IterTimeout)
+	}
+}
+
+// writeCheckpoint persists the campaign position when Options.Checkpoint is
+// set. complete marks the final checkpoint of a finished campaign. Failures
+// to write are reported through the checkpoint metrics staying flat — the
+// campaign itself never aborts on checkpoint I/O errors (the operator loses
+// durability, not results).
+func (c *coordinator) writeCheckpoint(complete bool) {
+	if c.opt.Checkpoint == "" {
+		return
+	}
+	done := c.opt.Iterations - c.left
+	if !complete && done == c.lastSaved {
+		return // already persisted at this position
+	}
+	start := time.Now()
+	cp := c.snapshot(complete)
+	size, err := cp.Save(c.opt.Checkpoint)
+	if err != nil {
+		return
+	}
+	c.lastSaved = done
+	c.opt.Observer.CheckpointSaved(done, size, time.Since(start))
 }

@@ -36,6 +36,15 @@ const (
 	// CampaignEnd closes a campaign: Iterations (executed), CumPoints,
 	// CumTimingDiffs, Findings, CorpusSize, Cycles (campaign total).
 	CampaignEnd Kind = "campaign_end"
+	// WorkerFailed records one failed batch attempt (worker panic, wedged
+	// iteration, or shard abandonment): Worker, Batch, Attempt (1-based),
+	// Reason. Emitted by the coordinator after the merge barrier, in worker
+	// order, so the stream stays deterministic for a fixed fault schedule.
+	WorkerFailed Kind = "worker_failed"
+	// BatchRetried records a batch that succeeded on a replacement worker
+	// after one or more failures: Worker, Batch, Attempt (the succeeding
+	// attempt, 1-based).
+	BatchRetried Kind = "batch_retried"
 )
 
 // Event is one structured campaign event. Every kind uses the shared Kind
@@ -43,30 +52,39 @@ const (
 // not listed for a kind are zero. Fields are never omitted from the JSON
 // encoding, so a JSONL stream round-trips exactly.
 type Event struct {
-	Kind Kind `json:"kind"`
+	Kind Kind `json:"kind"` // event type (the Kind constants)
 	// Seq is the 1-based position in the stream (assigned by the Observer).
 	Seq int `json:"seq"`
 	// Iteration is the 1-based canonical iteration index.
 	Iteration int `json:"iteration"`
 
-	DUT        string `json:"dut"`
-	Iterations int    `json:"iterations"`
-	Workers    int    `json:"workers"`
-	BatchSize  int    `json:"batch_size"`
-	Seed       int64  `json:"seed"`
+	DUT        string `json:"dut"`        // DUT design name
+	Iterations int    `json:"iterations"` // campaign budget / executed total
+	Workers    int    `json:"workers"`    // effective worker count
+	BatchSize  int    `json:"batch_size"` // effective per-worker batch size
+	Seed       int64  `json:"seed"`       // campaign RNG seed
 
-	Point    int   `json:"point"`
-	Interval int64 `json:"interval"`
+	Point    int   `json:"point"`    // contention point ID
+	Interval int64 `json:"interval"` // best distinct-request reqsIntvl (-1 = same-path only)
 
-	NewPoints      int   `json:"new_points"`
-	CumPoints      int   `json:"cum_points"`
-	CumTimingDiffs int   `json:"cum_timing_diffs"`
-	Cycles         int64 `json:"cycles"`
+	NewPoints      int   `json:"new_points"`       // points newly triggered this iteration
+	CumPoints      int   `json:"cum_points"`       // cumulative distinct triggered points
+	CumTimingDiffs int   `json:"cum_timing_diffs"` // cumulative timing-difference testcases
+	Cycles         int64 `json:"cycles"`           // simulated cycles (per-iteration or total)
 
-	Batch            int `json:"batch"`
-	MergedIterations int `json:"merged_iterations"`
-	CorpusSize       int `json:"corpus_size"`
-	Findings         int `json:"findings"`
+	Batch            int `json:"batch"`             // 1-based merge round
+	MergedIterations int `json:"merged_iterations"` // iterations folded this round
+	CorpusSize       int `json:"corpus_size"`       // merged corpus size
+	Findings         int `json:"findings"`          // retained findings so far
+
+	// Worker is the parallel worker index a fault event refers to.
+	Worker int `json:"worker"`
+	// Attempt is the 1-based batch attempt a fault event refers to.
+	Attempt int `json:"attempt"`
+	// Reason is the failure description of a worker_failed event. Reasons
+	// carry no wall-clock content, preserving stream determinism under a
+	// fixed fault schedule.
+	Reason string `json:"reason"`
 }
 
 // appendJSONL appends the event's JSONL encoding (one JSON object plus a

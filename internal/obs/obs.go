@@ -47,6 +47,12 @@ const (
 	MetricTracedPoints      = "sonar_dut_traced_points"
 	MetricMonitoredPoints   = "sonar_dut_monitored_points"
 	MetricDUTInfo           = "sonar_dut_info"
+	MetricWorkerFailures    = "sonar_worker_failures_total"
+	MetricBatchRetries      = "sonar_batch_retries_total"
+	MetricCheckpoints       = "sonar_checkpoints_total"
+	MetricCheckpointLatency = "sonar_checkpoint_seconds"
+	MetricCheckpointBytes   = "sonar_checkpoint_bytes"
+	MetricCheckpointIter    = "sonar_checkpoint_iteration"
 )
 
 // Observer publishes campaign metrics and forwards campaign events to its
@@ -87,6 +93,12 @@ type Observer struct {
 	tracedPts   *Gauge
 	monitored   *Gauge
 	dutInfo     *GaugeVec
+	workerFails *Counter
+	retries     *Counter
+	ckpts       *Counter
+	ckptLat     *Histogram
+	ckptBytes   *Gauge
+	ckptIter    *Gauge
 }
 
 // New returns an Observer with the standard campaign metrics registered
@@ -111,10 +123,17 @@ func New(sinks ...Sink) *Observer {
 		bestIntvl:   m.GaugeVec(MetricBestInterval, "Best (minimum) distinct-request reqsIntvl per contention point.", "point"),
 		mergeLat: m.Histogram(MetricMergeLatency, "Coordinator batch merge latency.",
 			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
-		naiveMuxes: m.Gauge(MetricNaiveMuxes, "2:1 MUX count before bottom-up tracing."),
-		tracedPts:  m.Gauge(MetricTracedPoints, "Contention points after bottom-up tracing."),
-		monitored:  m.Gauge(MetricMonitoredPoints, "Contention points surviving the risk filter."),
-		dutInfo:    m.GaugeVec(MetricDUTInfo, "Constant 1, labeled with the DUT design name.", "design"),
+		naiveMuxes:  m.Gauge(MetricNaiveMuxes, "2:1 MUX count before bottom-up tracing."),
+		tracedPts:   m.Gauge(MetricTracedPoints, "Contention points after bottom-up tracing."),
+		monitored:   m.Gauge(MetricMonitoredPoints, "Contention points surviving the risk filter."),
+		dutInfo:     m.GaugeVec(MetricDUTInfo, "Constant 1, labeled with the DUT design name.", "design"),
+		workerFails: m.Counter(MetricWorkerFailures, "Failed parallel batch attempts (panics, deadline aborts, abandonments)."),
+		retries:     m.Counter(MetricBatchRetries, "Batches recovered on a replacement worker."),
+		ckpts:       m.Counter(MetricCheckpoints, "Campaign checkpoints written."),
+		ckptLat: m.Histogram(MetricCheckpointLatency, "Checkpoint serialization+write latency.",
+			[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
+		ckptBytes: m.Gauge(MetricCheckpointBytes, "Size of the last checkpoint written."),
+		ckptIter:  m.Gauge(MetricCheckpointIter, "Campaign iteration of the last checkpoint written."),
 	}
 }
 
@@ -212,6 +231,73 @@ func (o *Observer) CampaignEnd(iterations, cumPoints, cumTimingDiffs, findings, 
 		CumPoints: cumPoints, CumTimingDiffs: cumTimingDiffs,
 		Findings: findings, CorpusSize: corpusSize, Cycles: cycles,
 	})
+}
+
+// Seq returns the sequence number of the last emitted event — the value a
+// campaign checkpoint stores so a resumed campaign's stream continues the
+// original numbering.
+func (o *Observer) Seq() int {
+	if o == nil {
+		return 0
+	}
+	return o.seq
+}
+
+// CampaignResumed rewinds the Observer to a checkpointed campaign position:
+// the event sequence continues from seq and the cumulative metrics are
+// seeded with the checkpointed totals. No event is emitted — a resumed
+// campaign's stream byte-continues the interrupted one, so the
+// concatenation of the streams before and after the checkpoint equals an
+// uninterrupted run's stream.
+func (o *Observer) CampaignResumed(seq, iterations, cumPoints, cumTimingDiffs, findings, corpusSize int, cycles int64) {
+	if o == nil {
+		return
+	}
+	o.seq = seq
+	o.iterations.Add(int64(iterations))
+	o.triggered.Set(float64(cumPoints))
+	o.timingDiffs.Add(int64(cumTimingDiffs))
+	o.findings.Add(int64(findings))
+	o.corpus.Set(float64(corpusSize))
+	o.cycles.Add(cycles)
+	// Throughput counts only iterations executed by this process.
+	o.campaignStart = time.Now()
+	o.itersAtStart = o.iterations.Value()
+}
+
+// WorkerFailed records one failed batch attempt. Emitted by the parallel
+// coordinator in worker order after the merge barrier, so the event stream
+// stays deterministic for a fixed fault schedule.
+func (o *Observer) WorkerFailed(worker, batch, attempt int, reason string) {
+	if o == nil {
+		return
+	}
+	o.workerFails.Inc()
+	o.emit(Event{Kind: WorkerFailed, Batch: batch, Worker: worker, Attempt: attempt, Reason: reason})
+}
+
+// BatchRetried records a batch recovered on a replacement worker after
+// attempt-1 failures.
+func (o *Observer) BatchRetried(worker, batch, attempt int) {
+	if o == nil {
+		return
+	}
+	o.retries.Inc()
+	o.emit(Event{Kind: BatchRetried, Batch: batch, Worker: worker, Attempt: attempt})
+}
+
+// CheckpointSaved accounts one written campaign checkpoint. Metrics only:
+// checkpoint cadence is an operational choice, and keeping it out of the
+// event stream preserves stream byte-identity across different -checkpoint
+// settings.
+func (o *Observer) CheckpointSaved(iteration, size int, latency time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ckpts.Inc()
+	o.ckptLat.Observe(latency.Seconds())
+	o.ckptBytes.Set(float64(size))
+	o.ckptIter.Set(float64(iteration))
 }
 
 func (o *Observer) updateRate() {

@@ -54,6 +54,15 @@ type (
 	Stats = fuzz.Stats
 	// Testcase is a template-shaped fuzzing input.
 	Testcase = fuzz.Testcase
+	// Checkpoint is a resumable snapshot of a campaign at a merge barrier
+	// (docs/CAMPAIGNS.md).
+	Checkpoint = fuzz.Checkpoint
+	// CheckpointShape is the campaign-defining option subset a checkpoint
+	// stores and Resume validates.
+	CheckpointShape = fuzz.Shape
+	// FaultHook intercepts worker iterations; the fuzz/faultinject package
+	// implements it for deterministic fault-injection tests.
+	FaultHook = fuzz.FaultHook
 	// PoC is a Meltdown-style exploit template.
 	PoC = attack.PoC
 	// AttackResult is a PoC evaluation outcome.
@@ -84,7 +93,13 @@ const (
 	FindingDetected = obs.FindingDetected
 	BatchMerged     = obs.BatchMerged
 	CampaignEnd     = obs.CampaignEnd
+	WorkerFailed    = obs.WorkerFailed
+	BatchRetried    = obs.BatchRetried
 )
+
+// LoadCheckpoint reads and validates a campaign checkpoint file; resume it
+// with (*Sonar).Resume (docs/CAMPAIGNS.md).
+func LoadCheckpoint(path string) (*Checkpoint, error) { return fuzz.LoadCheckpoint(path) }
 
 // NewBoom builds the Sonar pipeline over the single-core BOOM-like DUT
 // with its full structural netlist.
