@@ -10,7 +10,13 @@
 package sonar
 
 import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"sonar/internal/boom"
@@ -133,30 +139,130 @@ func BenchmarkExploitation_PoCAccuracy(b *testing.B) {
 	b.ReportMetric(float64(len(rs)), "pocs-total")
 }
 
+// campaignResult is one row of BENCH_campaign.json — the machine-readable
+// throughput record the CI perf gate (cmd/sonar-benchguard) compares against
+// the committed baseline. TestMain writes the file after the campaign
+// benchmarks run; plain test runs produce no records and no file.
+type campaignResult struct {
+	// ItersPerSec is fuzzing iterations (testcase x two secrets) per second.
+	ItersPerSec float64 `json:"iters_per_sec"`
+	// NsPerIter is wall-clock nanoseconds per fuzzing iteration.
+	NsPerIter float64 `json:"ns_per_iter"`
+	// AllocsPerIter is heap allocations per fuzzing iteration, measured
+	// over the whole campaign (includes DUT construction amortized over
+	// the run, so it is small but nonzero even with an alloc-free Execute).
+	AllocsPerIter float64 `json:"allocs_per_iter"`
+	// CyclesPerSec is simulated DUT cycles per wall-clock second.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+var (
+	campaignResultsMu sync.Mutex
+	campaignResults   = map[string]campaignResult{}
+)
+
+// benchJSONPath returns where the campaign benchmarks write their results;
+// override with SONAR_BENCH_JSON.
+func benchJSONPath() string {
+	if p := os.Getenv("SONAR_BENCH_JSON"); p != "" {
+		return p
+	}
+	return "BENCH_campaign.json"
+}
+
+// TestMain flushes the campaign benchmark records to BENCH_campaign.json.
+// See docs/PERFORMANCE.md for the file format and the CI regression gate.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	campaignResultsMu.Lock()
+	defer campaignResultsMu.Unlock()
+	if len(campaignResults) > 0 {
+		data, err := json.MarshalIndent(campaignResults, "", "  ")
+		if err == nil {
+			err = os.WriteFile(benchJSONPath(), append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench json:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// recordCampaign runs one campaign benchmark body under alloc/cycle
+// accounting and files the result for the BENCH_campaign.json emitter.
+// run executes one full campaign and returns its simulated cycle count.
+func recordCampaign(b *testing.B, name string, run func() int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocs0 := ms.Mallocs
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles += run()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	secs := b.Elapsed().Seconds()
+	iters := float64(benchIters) * float64(b.N)
+	r := campaignResult{
+		ItersPerSec:   iters / secs,
+		NsPerIter:     b.Elapsed().Seconds() * 1e9 / iters,
+		AllocsPerIter: float64(ms.Mallocs-allocs0) / iters,
+		CyclesPerSec:  float64(cycles) / secs,
+	}
+	b.ReportMetric(r.ItersPerSec, "iters/sec")
+	b.ReportMetric(r.CyclesPerSec, "cycles/sec")
+	campaignResultsMu.Lock()
+	campaignResults[name] = r
+	campaignResultsMu.Unlock()
+}
+
 // Campaign-engine throughput: the serial engine vs the sharded parallel
 // engine at increasing worker counts. The metric is fuzzing iterations per
 // second; the parallel entries should scale with physical cores
 // (Workers=1 retraces the serial campaign exactly, see TestParallelWorkers1MatchesSerial).
+// Workers share one contention-point analysis (fuzz.SharedAnalysisFactory),
+// as the production engines do via core.Sonar.
 func benchmarkCampaign(b *testing.B, workers int) {
 	opt := fuzz.SonarOptions(benchIters)
 	opt.Workers = workers
-	for i := 0; i < b.N; i++ {
-		st := fuzz.RunParallel(func() *fuzz.DUT { return fuzz.NewDUT(boom.NewLite()) }, opt)
+	recordCampaign(b, fmt.Sprintf("CampaignParallel%d", workers), func() int64 {
+		st := fuzz.RunParallel(fuzz.SharedAnalysisFactory(boom.NewLite), opt)
 		if len(st.PerIteration) != benchIters {
 			b.Fatal("campaign incomplete")
 		}
-	}
-	b.ReportMetric(float64(benchIters)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
+		return st.ExecutedCycles
+	})
 }
 
 func BenchmarkCampaignSerial(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		st := fuzz.Run(fuzz.NewDUT(boom.NewLite()), fuzz.SonarOptions(benchIters))
+	mkDUT := fuzz.SharedAnalysisFactory(boom.NewLite)
+	recordCampaign(b, "CampaignSerial", func() int64 {
+		st := fuzz.Run(mkDUT(), fuzz.SonarOptions(benchIters))
 		if len(st.PerIteration) != benchIters {
 			b.Fatal("campaign incomplete")
 		}
+		return st.ExecutedCycles
+	})
+}
+
+// Single-iteration hot path: one testcase executed under one secret on a
+// warm DUT. This is the unit the campaign engines repeat ~2N times per
+// N-iteration campaign; steady state performs zero heap allocations
+// (TestExecuteSteadyStateAllocFree pins that).
+func BenchmarkExecute(b *testing.B) {
+	d := fuzz.NewDUT(boom.NewLite())
+	tc := fuzz.Generate(rand.New(rand.NewSource(1)), false)
+	d.Execute(tc, 0) // warm the arenas
+	d.Execute(tc, ^uint64(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Execute(tc, uint64(i)&1)
 	}
-	b.ReportMetric(float64(benchIters)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
 }
 
 func BenchmarkCampaignParallel1(b *testing.B) { benchmarkCampaign(b, 1) }

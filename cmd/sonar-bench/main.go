@@ -8,6 +8,7 @@
 //	sonar-bench -iters 3000        # paper-scale campaigns (slower)
 //	sonar-bench -only fig8,table3  # a subset
 //	sonar-bench -only parallel -workers 8  # parallel-engine scaling
+//	sonar-bench -only fig8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The -metrics/-events/-progress flags attach the observability layer of
 // docs/OBSERVABILITY.md to every campaign the experiments run: metrics
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,8 +42,36 @@ func main() {
 		events      = flag.String("events", "", "stream campaign events to this JSONL file")
 		progress    = flag.Int("progress", 0, "print a live progress line to stderr every N iterations (0 = off)")
 		iterTimeout = flag.Duration("iter-timeout", 0, "per-iteration deadline for parallel experiment campaigns (0 = off)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	observer, finish, err := obs.CLIObserver(*metrics, *events, "", os.Stderr, *progress)
 	if err != nil {

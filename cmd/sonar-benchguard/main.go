@@ -1,0 +1,96 @@
+// Command sonar-benchguard is the CI perf-regression gate: it compares a
+// BENCH_campaign.json produced by the campaign benchmarks (go test
+// -bench=Campaign) against the committed BENCH_baseline.json and fails on
+// gross regressions.
+//
+// The committed baseline is deliberately conservative — roughly a quarter of
+// the throughput measured on a development machine — and the comparison adds
+// a further -factor (default 2x) margin on top, so the gate only trips on
+// order-of-magnitude regressions (an accidentally quadratic hot path, a
+// reintroduced per-iteration allocation storm), never on runner jitter.
+// Throughput must not fall below baseline/factor; allocations per iteration
+// must not exceed baseline*factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Campaign -benchtime 1x .
+//	go run ./cmd/sonar-benchguard -current BENCH_campaign.json
+//
+// See docs/PERFORMANCE.md for the file format and how the numbers are
+// measured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// row mirrors the campaignResult schema bench_test.go emits; fields absent
+// from the baseline (zero) are not checked.
+type row struct {
+	ItersPerSec   float64 `json:"iters_per_sec"`
+	NsPerIter     float64 `json:"ns_per_iter"`
+	AllocsPerIter float64 `json:"allocs_per_iter"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+}
+
+func load(path string) map[string]row {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m map[string]row
+	if err := json.Unmarshal(data, &m); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sonar-benchguard: ")
+	var (
+		current  = flag.String("current", "BENCH_campaign.json", "benchmark results to check")
+		baseline = flag.String("baseline", "BENCH_baseline.json", "committed baseline to check against")
+		factor   = flag.Float64("factor", 2, "allowed regression factor on top of the baseline margin")
+	)
+	flag.Parse()
+	f := *factor
+	cur, base := load(*current), load(*baseline)
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("FAIL %-20s missing from %s\n", name, *current)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		switch {
+		case b.ItersPerSec > 0 && c.ItersPerSec < b.ItersPerSec/f:
+			status = "FAIL"
+			failed = true
+		case b.AllocsPerIter > 0 && c.AllocsPerIter > b.AllocsPerIter*f:
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-20s %9.0f iters/sec (floor %.0f)  %7.1f allocs/iter (ceil %.0f)\n",
+			status, name, c.ItersPerSec, b.ItersPerSec/f, c.AllocsPerIter, b.AllocsPerIter*f)
+	}
+	if failed {
+		log.Fatal("performance regression detected (see docs/PERFORMANCE.md)")
+	}
+	fmt.Println("all campaign benchmarks within budget")
+}

@@ -119,7 +119,7 @@ func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
 // shape-matching and bit-identity contract.
 func (s *Sonar) Resume(opt fuzz.Options, cp *fuzz.Checkpoint) (*fuzz.Stats, error) {
 	s.observeIdentification(opt.Observer)
-	return fuzz.Resume(func() *fuzz.DUT { return fuzz.NewDUT(s.mk()) }, opt, cp)
+	return fuzz.Resume(s.newDUT, opt, cp)
 }
 
 // FuzzParallel runs a sharded campaign: Options.Workers workers, each on a
@@ -128,7 +128,14 @@ func (s *Sonar) Resume(opt fuzz.Options, cp *fuzz.Checkpoint) (*fuzz.Stats, erro
 // campaign exactly; a fixed worker count is reproducible across runs.
 func (s *Sonar) FuzzParallel(opt fuzz.Options) *fuzz.Stats {
 	s.observeIdentification(opt.Observer)
-	return fuzz.RunParallel(func() *fuzz.DUT { return fuzz.NewDUT(s.mk()) }, opt)
+	return fuzz.RunParallel(s.newDUT, opt)
+}
+
+// newDUT elaborates a private worker DUT, reusing the primary DUT's
+// contention-point analysis by dense-id rebinding instead of re-running
+// trace.Analyze per worker (or per fault-recovery replacement worker).
+func (s *Sonar) newDUT() *fuzz.DUT {
+	return fuzz.NewDUTWithAnalysis(s.mk(), s.DUT.Analysis)
 }
 
 // observeIdentification publishes the §5 static-analysis results as gauges

@@ -45,7 +45,7 @@ func Durability(iterations, workers int) DurabilityResult {
 	if workers < 2 {
 		workers = 2
 	}
-	mkDUT := func() *fuzz.DUT { return fuzz.NewDUT(boom.NewLite()) }
+	mkDUT := fuzz.SharedAnalysisFactory(boom.NewLite)
 
 	opt := fuzz.SonarOptions(iterations)
 	opt.Workers = workers

@@ -39,7 +39,7 @@ func (r ParallelResult) Speedup() float64 {
 // execution time) and verifies the Workers=1 equivalence contract at a
 // reduced budget.
 func Parallel(iterations, workers int) ParallelResult {
-	mkDUT := func() *fuzz.DUT { return fuzz.NewDUT(boom.NewLite()) }
+	mkDUT := fuzz.SharedAnalysisFactory(boom.NewLite)
 
 	opt := fuzz.SonarOptions(iterations)
 	start := time.Now()

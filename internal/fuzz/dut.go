@@ -6,6 +6,8 @@
 package fuzz
 
 import (
+	"sync"
+
 	"sonar/internal/isa"
 	"sonar/internal/monitor"
 	"sonar/internal/trace"
@@ -59,12 +61,43 @@ type DUT struct {
 	// WindowAlwaysOpen disables the secret-dependent monitoring window:
 	// states are collected over the whole execution (the §6.1 ablation).
 	WindowAlwaysOpen bool
+
+	// arenas are the two recycled execution slots Execute alternates
+	// between; see Execute for the aliasing contract.
+	arenas   [2]execArena
+	arenaIdx int
+	// halt is the cached halt-others program (undecodable address).
+	halt *isa.Program
+}
+
+// execArena holds the buffers one Execute slot recycles across runs: the
+// returned Execution value itself, the victim and attacker commit logs, the
+// snapshot, and the built programs. After warmup, a run through the slot
+// allocates nothing.
+type execArena struct {
+	ex     Execution
+	log    []uarch.CommitRecord
+	attLog []uarch.CommitRecord
+	snap   monitor.Snapshot
+	prog   isa.Program
+	att    isa.Program
 }
 
 // NewDUT analyzes and instruments a SoC. Similarity matching for persistent
 // contention uses cacheline granularity.
 func NewDUT(soc *uarch.SoC) *DUT {
-	a := trace.Analyze(soc.Net)
+	return NewDUTWithAnalysis(soc, trace.Analyze(soc.Net))
+}
+
+// NewDUTWithAnalysis instruments a SoC using an existing analysis of the
+// same design. If the analysis was computed on a different (but identically
+// elaborated) netlist instance, it is rebound onto this SoC's netlist by
+// dense signal id — the path parallel campaigns use to analyze once and
+// share the result across every worker and fault-recovery replacement.
+func NewDUTWithAnalysis(soc *uarch.SoC, a *trace.Analysis) *DUT {
+	if a.Netlist != soc.Net {
+		a = a.Rebind(soc.Net)
+	}
 	m := monitor.New(a, monitor.Config{SimilarityMask: ^uint64(uarch.LineBytes - 1)})
 	d := &DUT{SoC: soc, Analysis: a, Mon: m}
 	for _, c := range soc.Cores {
@@ -72,6 +105,27 @@ func NewDUT(soc *uarch.SoC) *DUT {
 	}
 	soc.Mem.SetPrivRange(PrivBase, PrivLimit)
 	return d
+}
+
+// SharedAnalysisFactory wraps a SoC constructor into a DUT factory that runs
+// the contention-point analysis exactly once and rebinds it to every
+// subsequently elaborated SoC. It is safe for concurrent use; parallel
+// engines build workers concurrently.
+func SharedAnalysisFactory(newSoC func() *uarch.SoC) func() *DUT {
+	var (
+		mu     sync.Mutex
+		shared *trace.Analysis
+	)
+	return func() *DUT {
+		soc := newSoC()
+		mu.Lock()
+		if shared == nil {
+			shared = trace.Analyze(soc.Net)
+		}
+		a := shared
+		mu.Unlock()
+		return NewDUTWithAnalysis(soc, a)
+	}
 }
 
 // windowGate forwards the cores' window transitions to the monitor unless
@@ -101,7 +155,17 @@ type Execution struct {
 
 // Execute resets the DUT, installs the secret, and runs the testcase to
 // completion under the given secret value.
+//
+// The returned Execution and everything it references live in one of two
+// recycled arenas: a result stays valid across exactly one subsequent
+// Execute on the same DUT (the dual-secret A/B pattern every caller uses)
+// and is overwritten by the one after that. Callers that need longer-lived
+// data must copy it out, as package detect does. Steady-state runs on a
+// warm DUT perform no heap allocations.
 func (d *DUT) Execute(tc *Testcase, secret uint64) *Execution {
+	ar := &d.arenas[d.arenaIdx]
+	d.arenaIdx = 1 - d.arenaIdx
+
 	d.SoC.Reset()
 	d.Mon.Reset()
 	if d.WindowAlwaysOpen {
@@ -109,34 +173,41 @@ func (d *DUT) Execute(tc *Testcase, secret uint64) *Execution {
 	}
 	d.SoC.Mem.Write(SecretAddr, secret, 8)
 
-	prog, sStart, sEnd := tc.Build()
+	sStart, sEnd := tc.BuildInto(&ar.prog)
 	victim := d.SoC.Cores[0]
-	victim.LoadProgram(prog)
+	victim.CommitLog = ar.log[:0] // give the core this slot's private log
+	victim.LoadProgram(&ar.prog)
 	victim.SetSecretRange(sStart, sEnd)
 
+	runAttacker := len(d.SoC.Cores) > 1 && len(tc.Attacker) > 0
 	if len(d.SoC.Cores) > 1 {
-		if len(tc.Attacker) > 0 {
-			att := tc.BuildAttacker()
-			d.SoC.Cores[1].LoadProgram(att)
+		if runAttacker {
+			tc.BuildAttackerInto(&ar.att)
+			d.SoC.Cores[1].CommitLog = ar.attLog[:0]
+			d.SoC.Cores[1].LoadProgram(&ar.att)
 		} else {
 			d.haltOthers()
 		}
 	}
 	cycles := d.SoC.Run()
-	ex := &Execution{
-		Log:    victim.CommitLog,
-		Snap:   d.Mon.Snapshot(),
-		Cycles: cycles,
-	}
-	if len(d.SoC.Cores) > 1 && len(tc.Attacker) > 0 {
-		ex.AttackerLog = d.SoC.Cores[1].CommitLog
+	ar.log = victim.CommitLog // the run may have grown the buffer
+	d.Mon.SnapshotInto(&ar.snap)
+
+	ex := &ar.ex
+	*ex = Execution{Log: ar.log, Snap: &ar.snap, Cycles: cycles}
+	if runAttacker {
+		ar.attLog = d.SoC.Cores[1].CommitLog
+		ex.AttackerLog = ar.attLog
 	}
 	return ex
 }
 
 func (d *DUT) haltOthers() {
-	for _, c := range d.SoC.Cores[1:] {
+	if d.halt == nil {
 		// An empty program at an undecodable address halts immediately.
-		c.LoadProgram(isa.NewProgram(0xF_0000, isa.Instr{Op: isa.ECALL}))
+		d.halt = isa.NewProgram(0xF_0000, isa.Instr{Op: isa.ECALL})
+	}
+	for _, c := range d.SoC.Cores[1:] {
+		c.LoadProgram(d.halt)
 	}
 }

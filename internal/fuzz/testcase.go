@@ -82,26 +82,26 @@ func (tc *Testcase) Clone() *Testcase {
 // 12-bit immediates, filler and probe accesses cover a 256-line window.
 var fillerBases = []uint8{RegDataBase, 20, 21, 22}
 
-// setup returns the fixed register-initialization preamble.
-func setup() []isa.Instr {
-	ins := []isa.Instr{
-		{Op: isa.LUI, Rd: RegDataBase, Imm: int64(DataBase >> 12)},
-		{Op: isa.LUI, Rd: 20, Imm: int64((DataBase + 0x1000) >> 12)},
-		{Op: isa.LUI, Rd: 21, Imm: int64((DataBase + 0x2000) >> 12)},
-		{Op: isa.LUI, Rd: 22, Imm: int64((DataBase + 0x3000) >> 12)},
-		{Op: isa.LUI, Rd: RegSecretBase, Imm: int64(SecretAddr >> 12)},
+// appendSetup appends the fixed register-initialization preamble to code.
+func appendSetup(code []isa.Instr) []isa.Instr {
+	code = append(code,
+		isa.Instr{Op: isa.LUI, Rd: RegDataBase, Imm: int64(DataBase >> 12)},
+		isa.Instr{Op: isa.LUI, Rd: 20, Imm: int64((DataBase + 0x1000) >> 12)},
+		isa.Instr{Op: isa.LUI, Rd: 21, Imm: int64((DataBase + 0x2000) >> 12)},
+		isa.Instr{Op: isa.LUI, Rd: 22, Imm: int64((DataBase + 0x3000) >> 12)},
+		isa.Instr{Op: isa.LUI, Rd: RegSecretBase, Imm: int64(SecretAddr >> 12)},
 		isa.I(isa.ADDI, RegChain, 0, 1),
-	}
+	)
 	for r := uint8(1); r <= 8; r++ {
-		ins = append(ins, isa.I(isa.ADDI, r, 0, int64(r)*3+1))
+		code = append(code, isa.I(isa.ADDI, r, 0, int64(r)*3+1))
 	}
-	return ins
+	return code
 }
 
-// secretOps expands the secret-dependent patterns into instructions. The
-// secret value sits in RegSecret.
-func secretOps(patterns []SecretPattern) []isa.Instr {
-	var ins []isa.Instr
+// appendSecretOps expands the secret-dependent patterns into instructions,
+// appending to code. The secret value sits in RegSecret.
+func appendSecretOps(code []isa.Instr, patterns []SecretPattern) []isa.Instr {
+	ins := code
 	for _, p := range patterns {
 		switch p {
 		case PatternLoad:
@@ -138,31 +138,31 @@ func secretOps(patterns []SecretPattern) []isa.Instr {
 	return ins
 }
 
-// probeTimer emits the probe's delay source: a divide whose dividend is
-// 3<<ProbeDelay (latency ~10+delay), folded to zero in RegProbe0. The delay
-// also composes with the head chain (the dividend shift amount is offset by
-// the chain value's readiness).
-func probeTimer(delay int) []isa.Instr {
+// appendProbeTimer appends the probe's delay source: a divide whose dividend
+// is 3<<ProbeDelay (latency ~10+delay), folded to zero in RegProbe0. The
+// delay also composes with the head chain (the dividend shift amount is
+// offset by the chain value's readiness).
+func appendProbeTimer(code []isa.Instr, delay int) []isa.Instr {
 	if delay > 61 {
 		delay = 61
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	return []isa.Instr{
+	return append(code,
 		isa.R(isa.XOR, RegProbe0, RegChain, RegChain), // 0, chain-timed
 		isa.I(isa.ADDI, RegProbe0, RegProbe0, 3),
 		isa.I(isa.ADDI, RegProbe2, 0, int64(delay)),
 		isa.R(isa.SLL, RegProbe0, RegProbe0, RegProbe2),
 		isa.R(isa.DIV, RegProbe0, RegProbe0, RegProbe0), // 1, after ~10+delay
 		isa.I(isa.ADDI, RegProbe0, RegProbe0, -1),       // 0, delay-timed
-	}
+	)
 }
 
-// probeOps expands the probe: an operation of the probe class whose issue
-// time tracks the head chain plus the cycle-granular ProbeDelay, while the
-// resource it touches stays fixed.
-func probeOps(p SecretPattern, probeOffset int64, probeDelay int, probeBase uint8) []isa.Instr {
+// appendProbeOps expands the probe: an operation of the probe class whose
+// issue time tracks the head chain plus the cycle-granular ProbeDelay, while
+// the resource it touches stays fixed.
+func appendProbeOps(code []isa.Instr, p SecretPattern, probeOffset int64, probeDelay int, probeBase uint8) []isa.Instr {
 	valid := false
 	for _, b := range fillerBases {
 		if probeBase == b {
@@ -172,7 +172,7 @@ func probeOps(p SecretPattern, probeOffset int64, probeDelay int, probeBase uint
 	if !valid {
 		probeBase = RegDataBase
 	}
-	ops := probeTimer(probeDelay)
+	ops := appendProbeTimer(code, probeDelay)
 	switch p {
 	case PatternDiv:
 		return append(ops,
@@ -202,32 +202,52 @@ func probeOps(p SecretPattern, probeOffset int64, probeDelay int, probeBase uint
 // Build assembles the full victim program and returns it along with the
 // static index range [start, end) of the secret-dependent region.
 func (tc *Testcase) Build() (prog *isa.Program, secretStart, secretEnd int) {
-	var code []isa.Instr
-	code = append(code, setup()...)
+	prog = &isa.Program{}
+	secretStart, secretEnd = tc.BuildInto(prog)
+	return prog, secretStart, secretEnd
+}
+
+// BuildInto assembles the full victim program into prog, reusing prog's
+// instruction buffer, and returns the static index range [start, end) of the
+// secret-dependent region. Repeated builds into the same program allocate
+// nothing once the buffer has grown to the largest testcase seen.
+func (tc *Testcase) BuildInto(prog *isa.Program) (secretStart, secretEnd int) {
+	code := appendSetup(prog.Code[:0])
 	code = append(code, tc.HeadChain...)
 	code = append(code, tc.Prologue...)
 	secretStart = len(code)
 	code = append(code, isa.Load(isa.LD, RegSecret, RegSecretBase, 0)) // load secret
-	code = append(code, secretOps(tc.Patterns)...)
+	code = appendSecretOps(code, tc.Patterns)
 	secretEnd = len(code)
-	code = append(code, probeOps(tc.Probe, tc.ProbeOffset, tc.ProbeDelay, tc.ProbeBase)...)
+	code = appendProbeOps(code, tc.Probe, tc.ProbeOffset, tc.ProbeDelay, tc.ProbeBase)
 	code = append(code, tc.Epilogue...)
 	code = append(code, isa.Instr{Op: isa.ECALL})
-	return isa.NewProgram(CodeBase, code...), secretStart, secretEnd
+	prog.Base = CodeBase
+	prog.Code = code
+	return secretStart, secretEnd
 }
 
 // BuildAttacker assembles the dual-core attacker program: setup, the loop
 // body repeated, and a halt.
 func (tc *Testcase) BuildAttacker() *isa.Program {
-	code := []isa.Instr{
-		{Op: isa.LUI, Rd: RegDataBase, Imm: int64(AttackerDataBase >> 12)},
+	prog := &isa.Program{}
+	tc.BuildAttackerInto(prog)
+	return prog
+}
+
+// BuildAttackerInto assembles the dual-core attacker program into prog,
+// reusing prog's instruction buffer.
+func (tc *Testcase) BuildAttackerInto(prog *isa.Program) {
+	code := append(prog.Code[:0],
+		isa.Instr{Op: isa.LUI, Rd: RegDataBase, Imm: int64(AttackerDataBase >> 12)},
 		isa.I(isa.ADDI, RegChain, 0, 1),
-	}
+	)
 	for i := 0; i < 12; i++ {
 		code = append(code, tc.Attacker...)
 	}
 	code = append(code, isa.Instr{Op: isa.ECALL})
-	return isa.NewProgram(AttackerCodeBase, code...)
+	prog.Base = AttackerCodeBase
+	prog.Code = code
 }
 
 // fillerRegs are the registers random filler instructions may use.

@@ -1,7 +1,6 @@
 package fuzz
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
@@ -23,7 +22,7 @@ func TestPerfCampaign(t *testing.T) {
 			strict[p.ID] = true
 		}
 	}
-	fmt.Println("strict monitorable points:", len(strict))
+	t.Logf("strict monitorable points: %d", len(strict))
 	for _, mode := range []string{"sonar", "random"} {
 		opt := SonarOptions(400)
 		if mode == "random" {
@@ -38,7 +37,7 @@ func TestPerfCampaign(t *testing.T) {
 			}
 		}
 		last := st.PerIteration[len(st.PerIteration)-1]
-		fmt.Printf("%s: %v triggered=%d strictTriggered=%d timingdiffs=%d corpus=%d\n",
+		t.Logf("%s: %v triggered=%d strictTriggered=%d timingdiffs=%d corpus=%d",
 			mode, time.Since(t1).Round(time.Millisecond), last.CumPoints, ns, last.CumTimingDiffs, st.CorpusSize)
 	}
 }

@@ -13,6 +13,15 @@ type Netlist struct {
 	order   []*Signal
 	muxes   []*Mux
 	prims   []*Prim
+	// vals is the dense value plane: vals[s.id] holds the current value of
+	// signal s. Keeping all signal state in one flat slice makes the
+	// simulator's read path cache-friendly and index-addressable.
+	vals []uint64
+	// watchers[id] holds the watch hooks of signal id; watchBits is a bitset
+	// over ids with at least one watcher, so the hot Set path answers "any
+	// watcher?" with a single bit test.
+	watchers  [][]WatchFunc
+	watchBits []uint64
 	// driver maps a signal to the mux driving it, if any.
 	driver map[*Signal]*Mux
 	// primDriver maps a signal to the prim driving it, if any.
@@ -58,6 +67,18 @@ func (n *Netlist) Signals() []*Signal { return n.order }
 // Muxes returns all 2:1 MUX nodes in creation order.
 func (n *Netlist) Muxes() []*Mux { return n.muxes }
 
+// SignalByID returns the signal with the given dense id (see Signal.ID).
+func (n *Netlist) SignalByID(id int) *Signal { return n.order[id] }
+
+// MuxByID returns the mux with the given dense id (see Mux.ID).
+func (n *Netlist) MuxByID(id int) *Mux { return n.muxes[id] }
+
+// Values returns the dense value plane of the netlist: Values()[s.ID()] is
+// the current value of signal s. The slice is live — it reflects (and may be
+// used alongside) Signal.Value, but writes must go through Signal.Set so
+// masking and watcher dispatch still happen.
+func (n *Netlist) Values() []uint64 { return n.vals }
+
 // Signal looks a signal up by full hierarchical name.
 func (n *Netlist) Signal(name string) (*Signal, bool) {
 	s, ok := n.signals[name]
@@ -94,10 +115,18 @@ func (n *Netlist) newSignal(name string, width int, kind Kind, val uint64) *Sign
 	if _, dup := n.signals[name]; dup {
 		panic(fmt.Sprintf("hdl: duplicate signal name %q", name))
 	}
-	s := &Signal{net: n, id: len(n.order), name: name, width: width, kind: kind}
-	s.val = val & s.Mask()
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (1 << uint(width)) - 1
+	}
+	s := &Signal{net: n, id: len(n.order), name: name, width: width, mask: mask, kind: kind}
 	n.signals[name] = s
 	n.order = append(n.order, s)
+	n.vals = append(n.vals, val&mask)
+	n.watchers = append(n.watchers, nil)
+	if need := (len(n.order) + 63) / 64; need > len(n.watchBits) {
+		n.watchBits = append(n.watchBits, 0)
+	}
 	return s
 }
 

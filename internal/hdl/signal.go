@@ -42,20 +42,35 @@ type WatchFunc func(s *Signal, old, new uint64, cycle int64)
 // Signal is a named, width-annotated value holder in a netlist.
 //
 // Signals are created through Netlist/Module builder methods and are unique
-// by hierarchical name. The zero value is not usable.
+// by hierarchical name. The value itself lives in the owning netlist's dense
+// value plane (Netlist.vals), indexed by the signal id; the Signal struct is
+// the structural handle. The zero value is not usable.
 type Signal struct {
-	net      *Netlist
-	id       int
-	name     string // full hierarchical name, "." separated
-	width    int    // 1..64 bits
-	kind     Kind
-	val      uint64
-	sources  []*Signal // declared fan-in, used by validity tracing
-	watchers []WatchFunc
+	net     *Netlist
+	id      int
+	name    string // full hierarchical name, "." separated
+	width   int    // 1..64 bits
+	mask    uint64 // precomputed width mask
+	kind    Kind
+	sources []*Signal // declared fan-in, used by validity tracing
+	// srcSet shadows sources for O(1) dedup once the fan-in grows past
+	// srcDedupThreshold (wide reduction buffers fan in hundreds of signals).
+	srcSet map[*Signal]struct{}
 }
+
+// srcDedupThreshold is the fan-in size above which AddSource switches from a
+// linear duplicate scan to a map. Small fan-ins stay map-free: the common
+// case is a handful of sources and the linear scan is cheaper there.
+const srcDedupThreshold = 8
 
 // Name returns the full hierarchical name of the signal.
 func (s *Signal) Name() string { return s.name }
+
+// ID returns the dense, elaboration-order id of the signal within its
+// netlist: Netlist.Signals()[s.ID()] == s. Elaboration is deterministic, so
+// ids are stable across independently elaborated instances of the same
+// design and can be used to rebind per-netlist data (see trace.Analysis).
+func (s *Signal) ID() int { return s.id }
 
 // Local returns the last path segment of the signal name (its name within
 // the owning module).
@@ -89,32 +104,32 @@ func (s *Signal) Kind() Kind { return s.kind }
 func (s *Signal) IsConst() bool { return s.kind == Const }
 
 // Value returns the current value of the signal.
-func (s *Signal) Value() uint64 { return s.val }
+func (s *Signal) Value() uint64 { return s.net.vals[s.id] }
 
 // Mask returns the width mask of the signal (all valid bits set).
-func (s *Signal) Mask() uint64 {
-	if s.width >= 64 {
-		return ^uint64(0)
-	}
-	return (1 << uint(s.width)) - 1
-}
+func (s *Signal) Mask() uint64 { return s.mask }
 
 // Set updates the signal value, masking it to the signal width, and notifies
 // watchers if the value changed. Setting a Const signal panics: constants are
 // structural facts the analyses rely on.
+//
+// The watcher check is a single bit test in the netlist's watchBits bitset,
+// so unwatched signals (the overwhelming majority) pay no indirection past
+// the dense value plane.
 func (s *Signal) Set(v uint64) {
 	if s.kind == Const {
 		panic(fmt.Sprintf("hdl: Set on constant signal %s", s.name))
 	}
-	v &= s.Mask()
-	if v == s.val {
+	n := s.net
+	v &= s.mask
+	old := n.vals[s.id]
+	if v == old {
 		return
 	}
-	old := s.val
-	s.val = v
-	if len(s.watchers) != 0 {
-		cyc := s.net.cycle
-		for _, w := range s.watchers {
+	n.vals[s.id] = v
+	if n.watchBits[uint(s.id)>>6]&(1<<(uint(s.id)&63)) != 0 {
+		cyc := n.cycle
+		for _, w := range n.watchers[s.id] {
 			w(s, old, v, cyc)
 		}
 	}
@@ -130,28 +145,52 @@ func (s *Signal) SetBool(b bool) {
 }
 
 // Bool reports whether the signal value is non-zero.
-func (s *Signal) Bool() bool { return s.val != 0 }
+func (s *Signal) Bool() bool { return s.net.vals[s.id] != 0 }
 
 // Watch registers fn to be called whenever the signal value changes.
 func (s *Signal) Watch(fn WatchFunc) {
-	s.watchers = append(s.watchers, fn)
+	n := s.net
+	n.watchers[s.id] = append(n.watchers[s.id], fn)
+	n.watchBits[uint(s.id)>>6] |= 1 << (uint(s.id) & 63)
 }
 
 // ClearWatchers removes all watch hooks from the signal.
-func (s *Signal) ClearWatchers() { s.watchers = nil }
+func (s *Signal) ClearWatchers() {
+	n := s.net
+	n.watchers[s.id] = nil
+	n.watchBits[uint(s.id)>>6] &^= 1 << (uint(s.id) & 63)
+}
 
 // Sources returns the declared fan-in of the signal.
 func (s *Signal) Sources() []*Signal { return s.sources }
 
 // AddSource declares src as fan-in of s. It is used by validity tracing when
 // no same-prefix valid signal exists (paper Algorithm 1, lines 4-7).
+//
+// Duplicates are dropped. Above srcDedupThreshold a shadow set takes over
+// from the linear scan: wide reduction buffers (e.g. 64-bank dcache valids)
+// would otherwise pay a quadratic elaboration cost.
 func (s *Signal) AddSource(src *Signal) {
+	if s.srcSet != nil {
+		if _, dup := s.srcSet[src]; dup {
+			return
+		}
+		s.srcSet[src] = struct{}{}
+		s.sources = append(s.sources, src)
+		return
+	}
 	for _, e := range s.sources {
 		if e == src {
 			return
 		}
 	}
 	s.sources = append(s.sources, src)
+	if len(s.sources) > srcDedupThreshold {
+		s.srcSet = make(map[*Signal]struct{}, 2*len(s.sources))
+		for _, e := range s.sources {
+			s.srcSet[e] = struct{}{}
+		}
+	}
 }
 
 // String implements fmt.Stringer.

@@ -53,6 +53,27 @@ var encTable = map[Op]encSpec{
 	BNE:  {opcBranch, 1, 0},
 }
 
+// Decode lookup tables derived from encTable: opcOp keys on
+// funct7<<3|funct3, opcOpImm on funct3 alone (shift-immediates are special-
+// cased in Decode). Entries hold Op+1 so zero means "no such instruction".
+// Flat arrays keep the per-fetch decode O(1); iterating encTable per decoded
+// word dominated simulation profiles.
+var (
+	decOp    [1024]uint16
+	decOpImm [8]uint16
+)
+
+func init() {
+	for op, e := range encTable {
+		switch e.opcode {
+		case opcOp:
+			decOp[e.funct7<<3|e.funct3] = uint16(op) + 1
+		case opcOpImm:
+			decOpImm[e.funct3] = uint16(op) + 1
+		}
+	}
+}
+
 // Encode produces the 32-bit RV64 machine word for the instruction.
 func (i Instr) Encode() uint32 {
 	rd := uint32(i.Rd) & 31
@@ -104,6 +125,17 @@ func (i Instr) Encode() uint32 {
 // Decode reconstructs an instruction from its machine word. It returns an
 // error for words outside the supported subset.
 func Decode(w uint32) (Instr, error) {
+	if ins, ok := DecodeWord(w); ok {
+		return ins, nil
+	}
+	return Instr{}, fmt.Errorf("isa: cannot decode %#08x", w)
+}
+
+// DecodeWord is Decode without the error construction: ok is false for words
+// outside the supported subset. The per-cycle fetch path uses it so that
+// running into undecodable memory (the normal way programs halt) does not
+// allocate an error object per fetched word.
+func DecodeWord(w uint32) (Instr, bool) {
 	opcode := w & 0x7f
 	rd := uint8(w >> 7 & 31)
 	funct3 := w >> 12 & 7
@@ -112,57 +144,52 @@ func Decode(w uint32) (Instr, error) {
 	funct7 := w >> 25 & 0x7f
 	switch opcode {
 	case opcOp:
-		for op, e := range encTable {
-			if e.opcode == opcOp && e.funct3 == funct3 && e.funct7 == funct7 {
-				return R(op, rd, rs1, rs2), nil
-			}
+		if v := decOp[funct7<<3|funct3]; v != 0 {
+			return R(Op(v-1), rd, rs1, rs2), true
 		}
 	case opcOpImm:
 		imm := signExtend(uint64(w>>20&0xfff), 12)
 		switch funct3 {
 		case 1:
 			if w>>26 == 0 {
-				return I(SLLI, rd, rs1, int64(w>>20&0x3f)), nil
+				return I(SLLI, rd, rs1, int64(w>>20&0x3f)), true
 			}
-			return Instr{}, fmt.Errorf("isa: cannot decode %#08x", w)
+			return Instr{}, false
 		case 5:
 			switch w >> 26 {
 			case 0:
-				return I(SRLI, rd, rs1, int64(w>>20&0x3f)), nil
+				return I(SRLI, rd, rs1, int64(w>>20&0x3f)), true
 			case 0x10:
-				return I(SRAI, rd, rs1, int64(w>>20&0x3f)), nil
+				return I(SRAI, rd, rs1, int64(w>>20&0x3f)), true
 			}
-			return Instr{}, fmt.Errorf("isa: cannot decode %#08x", w)
+			return Instr{}, false
 		}
-		for op, e := range encTable {
-			if e.opcode == opcOpImm && e.funct3 == funct3 {
-				return I(op, rd, rs1, imm), nil
-			}
+		if v := decOpImm[funct3]; v != 0 {
+			return I(Op(v-1), rd, rs1, imm), true
 		}
-		_ = imm
 	case opcLoad:
 		imm := signExtend(uint64(w>>20&0xfff), 12)
 		switch funct3 {
 		case 2:
-			return Load(LW, rd, rs1, imm), nil
+			return Load(LW, rd, rs1, imm), true
 		case 3:
-			return Load(LD, rd, rs1, imm), nil
+			return Load(LD, rd, rs1, imm), true
 		}
 	case opcStore:
 		imm := signExtend(uint64(w>>25&0x7f)<<5|uint64(w>>7&0x1f), 12)
 		switch funct3 {
 		case 2:
-			return Store(SW, rs2, rs1, imm), nil
+			return Store(SW, rs2, rs1, imm), true
 		case 3:
-			return Store(SD, rs2, rs1, imm), nil
+			return Store(SD, rs2, rs1, imm), true
 		}
 	case opcAMO:
 		if funct3 == 3 {
 			switch w >> 27 & 0x1f {
 			case 0x02:
-				return Instr{Op: LRD, Rd: rd, Rs1: rs1}, nil
+				return Instr{Op: LRD, Rd: rd, Rs1: rs1}, true
 			case 0x03:
-				return Instr{Op: SCD, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+				return Instr{Op: SCD, Rd: rd, Rs1: rs1, Rs2: rs2}, true
 			}
 		}
 	case opcBranch:
@@ -171,28 +198,28 @@ func Decode(w uint32) (Instr, error) {
 				uint64(w>>25&0x3f)<<5|uint64(w>>8&0xf)<<1, 13)
 		switch funct3 {
 		case 0:
-			return Branch(BEQ, rs1, rs2, imm), nil
+			return Branch(BEQ, rs1, rs2, imm), true
 		case 1:
-			return Branch(BNE, rs1, rs2, imm), nil
+			return Branch(BNE, rs1, rs2, imm), true
 		}
 	case opcJAL:
 		imm := signExtend(
 			uint64(w>>31&1)<<20|uint64(w>>12&0xff)<<12|
 				uint64(w>>20&1)<<11|uint64(w>>21&0x3ff)<<1, 21)
-		return Instr{Op: JAL, Rd: rd, Imm: imm}, nil
+		return Instr{Op: JAL, Rd: rd, Imm: imm}, true
 	case opcLUI:
-		return Instr{Op: LUI, Rd: rd, Imm: int64(w >> 12 & 0xfffff)}, nil
+		return Instr{Op: LUI, Rd: rd, Imm: int64(w >> 12 & 0xfffff)}, true
 	case opcSystem:
 		if w == opcSystem {
-			return Instr{Op: ECALL}, nil
+			return Instr{Op: ECALL}, true
 		}
 		if funct3 == 2 && w>>20 == csrCycle && rs1 == 0 {
-			return Instr{Op: RDCYCLE, Rd: rd}, nil
+			return Instr{Op: RDCYCLE, Rd: rd}, true
 		}
 	case opcFence:
-		return Instr{Op: FENCE}, nil
+		return Instr{Op: FENCE}, true
 	}
-	return Instr{}, fmt.Errorf("isa: cannot decode %#08x", w)
+	return Instr{}, false
 }
 
 func signExtend(v uint64, bits int) int64 {

@@ -40,11 +40,25 @@ func (p *Program) IndexOf(addr uint64) int {
 
 // Image renders the program as a little-endian binary image.
 func (p *Program) Image() []byte {
-	img := make([]byte, 4*len(p.Code))
-	for i, ins := range p.Code {
-		binary.LittleEndian.PutUint32(img[4*i:], ins.Encode())
+	return p.AppendImage(nil)
+}
+
+// AppendImage appends the little-endian binary image of the program to dst
+// and returns the extended slice. Passing a recycled buffer makes repeated
+// image rendering allocation-free.
+func (p *Program) AppendImage(dst []byte) []byte {
+	off := len(dst)
+	if need := off + 4*len(p.Code); cap(dst) < need {
+		grown := make([]byte, need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
 	}
-	return img
+	for i, ins := range p.Code {
+		binary.LittleEndian.PutUint32(dst[off+4*i:], ins.Encode())
+	}
+	return dst
 }
 
 // LoadImage decodes a little-endian binary image into a program.

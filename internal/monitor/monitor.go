@@ -49,8 +49,14 @@ type pointState struct {
 	// the paper's §8.3.2 observation ① — contentions dominated by a single
 	// valid signal trigger at the outset of testing.
 	constPeer bool
-	// validNow tracks the current conjunction value per request.
-	validNow []bool
+	// trueCnt counts the currently-true valid signals per request; the
+	// conjunction holds exactly when trueCnt[ri] == need[ri]. Watch hooks
+	// maintain the count incrementally from old/new transitions, so a value
+	// change costs O(1) instead of re-reading every valid in the conjunction.
+	trueCnt []int32
+	// need is the conjunction size per request (0 for requests without
+	// validity indication).
+	need []int32
 	// lastCycle is the last valid-arrival cycle per request (-1 = never).
 	lastCycle []int64
 	// lastData is the data value at the last arrival per request.
@@ -106,7 +112,8 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 	for _, p := range points {
 		st := &pointState{
 			point:     p,
-			validNow:  make([]bool, len(p.Requests)),
+			trueCnt:   make([]int32, len(p.Requests)),
+			need:      make([]int32, len(p.Requests)),
 			lastCycle: make([]int64, len(p.Requests)),
 			lastData:  make([]uint64, len(p.Requests)),
 		}
@@ -122,21 +129,41 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 			if !req.HasValid() {
 				continue
 			}
+			st.need[ri] = int32(len(req.Valids))
 			ri := ri
-			hook := func(_ *hdl.Signal, _, _ uint64, cycle int64) {
-				m.onValidChange(st, ri, cycle)
+			hook := func(_ *hdl.Signal, old, new uint64, cycle int64) {
+				m.onValidDelta(st, ri, old, new, cycle)
 			}
 			for _, v := range req.Valids {
 				v.Watch(hook)
 				m.statements++ // one sampling statement per watched signal
 			}
-			st.validNow[ri] = conj(req.Valids)
 		}
+		st.recount()
 		// Interval registers and comparators per point: the fixed part of
 		// the inserted monitoring logic.
 		m.statements += 2 + len(p.Requests)
 	}
 	return m
+}
+
+// recount re-derives the per-request true-valid counts from the current
+// signal values, re-anchoring the incremental bookkeeping. Called once per
+// Reset; steady-state updates flow through onValidDelta.
+func (st *pointState) recount() {
+	for ri := range st.point.Requests {
+		req := &st.point.Requests[ri]
+		if !req.HasValid() {
+			continue
+		}
+		cnt := int32(0)
+		for _, v := range req.Valids {
+			if v.Bool() {
+				cnt++
+			}
+		}
+		st.trueCnt[ri] = cnt
+	}
 }
 
 func (st *pointState) reset() {
@@ -174,29 +201,32 @@ func (m *Monitor) Reset() {
 	m.window = false
 	for _, st := range m.states {
 		st.reset()
-		for ri := range st.point.Requests {
-			req := &st.point.Requests[ri]
-			if req.HasValid() {
-				st.validNow[ri] = conj(req.Valids)
-			}
-		}
+		st.recount()
 	}
 }
 
-// onValidChange re-evaluates the validity conjunction of request ri and
-// records an arrival on a rising edge.
-func (m *Monitor) onValidChange(st *pointState, ri int, cycle int64) {
-	req := &st.point.Requests[ri]
-	now := conj(req.Valids)
-	was := st.validNow[ri]
-	st.validNow[ri] = now
-	if !now || was {
-		return // not a rising edge
+// onValidDelta folds one valid-signal value change into the request's
+// true-valid count. The conjunction rises exactly when the count reaches the
+// conjunction size via an increment: a nonzero→nonzero change leaves the
+// truth (and the count) untouched, so this reproduces re-evaluating the full
+// conjunction at O(1) cost.
+func (m *Monitor) onValidDelta(st *pointState, ri int, old, new uint64, cycle int64) {
+	wasTrue, isTrue := old != 0, new != 0
+	if wasTrue == isTrue {
+		return // value changed but truth did not
+	}
+	if !isTrue {
+		st.trueCnt[ri]--
+		return
+	}
+	st.trueCnt[ri]++
+	if st.trueCnt[ri] != st.need[ri] {
+		return // conjunction still has false members
 	}
 	if !m.window {
 		return
 	}
-	m.record(st, ri, cycle, req.Data.Value())
+	m.record(st, ri, cycle, st.point.Requests[ri].Data.Value())
 }
 
 func (m *Monitor) record(st *pointState, ri int, cycle int64, data uint64) {
@@ -251,13 +281,4 @@ func fnv1a(h, v uint64) uint64 {
 		v >>= 8
 	}
 	return h
-}
-
-func conj(valids []*hdl.Signal) bool {
-	for _, v := range valids {
-		if !v.Bool() {
-			return false
-		}
-	}
-	return true
 }

@@ -41,12 +41,28 @@ type Snapshot struct {
 	Points []PointSnapshot
 }
 
-// Snapshot captures the current collected state of all points.
+// Snapshot captures the current collected state of all points. The result
+// is freshly allocated and safe to retain; hot paths that recycle snapshots
+// should use SnapshotInto instead.
 func (m *Monitor) Snapshot() *Snapshot {
-	s := &Snapshot{Points: make([]PointSnapshot, len(m.states))}
+	s := new(Snapshot)
+	m.SnapshotInto(s)
+	return s
+}
+
+// SnapshotInto captures the current collected state of all points into s,
+// reusing s.Points and the per-point Events buffers. After the first call on
+// a given arena the capture allocates nothing, which is what keeps the
+// steady-state Execute path heap-quiet. The previous contents of s are
+// overwritten; callers own the aliasing (a recycled snapshot must no longer
+// be read by anyone else).
+func (m *Monitor) SnapshotInto(s *Snapshot) {
+	if cap(s.Points) < len(m.states) {
+		s.Points = make([]PointSnapshot, len(m.states))
+	}
+	s.Points = s.Points[:len(m.states)]
 	for i, st := range m.states {
-		events := make([]Event, len(st.events))
-		copy(events, st.events)
+		events := append(s.Points[i].Events[:0], st.events...)
 		s.Points[i] = PointSnapshot{
 			Point:               st.point,
 			MinIntvlDistinct:    st.minIntvlDistinct,
@@ -58,7 +74,6 @@ func (m *Monitor) Snapshot() *Snapshot {
 			PersistentCandidate: st.samePathHit,
 		}
 	}
-	return s
 }
 
 // Triggered returns the IDs of points where any contention was triggered:

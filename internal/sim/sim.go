@@ -21,8 +21,9 @@ import (
 	"sonar/internal/hdl"
 )
 
-// node is a combinational element: a mux, a primitive operation, or a
-// buffer wire.
+// node is a combinational element under construction: a mux, a primitive
+// operation, or a buffer wire. New compiles nodes into cnodes once the
+// evaluation order is known.
 type node struct {
 	mux  *hdl.Mux    // non-nil for mux nodes
 	prim *hdl.Prim   // non-nil for primitive-operation nodes
@@ -49,19 +50,40 @@ func (n node) inputs() []*hdl.Signal {
 	return n.buf.Sources()
 }
 
+// cnode kinds.
+const (
+	nkMux uint8 = iota
+	nkPrim
+	nkBuf
+)
+
+// cnode is a compiled combinational element. Input operands are precomputed
+// dense signal ids into the netlist value plane, so Eval reads flat slices
+// instead of chasing pointers or hashing map keys.
+type cnode struct {
+	kind    uint8
+	regSlot int32       // index into next/regs if out is a register, else -1
+	out     *hdl.Signal // driven signal (Set dispatches watchers)
+	sel     int32       // mux: select id
+	tval    int32       // mux: true-value id
+	fval    int32       // mux: false-value id
+	prim    *hdl.Prim   // prim: computed via Prim.Compute
+	bufIDs  []int32     // buf: source ids, OR-reduced
+}
+
 // Simulator evaluates a netlist cycle by cycle.
 type Simulator struct {
 	net   *hdl.Netlist
-	order []node                 // topological combinational order
-	next  map[*hdl.Signal]uint64 // register next-values computed this cycle
-	regs  []*hdl.Signal          // registers with combinational drivers
+	order []cnode       // topological combinational order, compiled
+	next  []uint64      // staged register next-values, indexed by reg slot
+	regs  []*hdl.Signal // registers with combinational drivers, by reg slot
 }
 
 // New builds a simulator for the netlist. It returns an error if the
 // combinational logic contains a cycle that does not pass through a
 // register.
 func New(n *hdl.Netlist) (*Simulator, error) {
-	s := &Simulator{net: n, next: make(map[*hdl.Signal]uint64)}
+	s := &Simulator{net: n}
 
 	var nodes []node
 	producer := make(map[*hdl.Signal]int) // signal -> index into nodes
@@ -109,10 +131,11 @@ func New(n *hdl.Netlist) (*Simulator, error) {
 			queue = append(queue, i)
 		}
 	}
+	sorted := make([]node, 0, len(nodes))
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
-		s.order = append(s.order, nodes[i])
+		sorted = append(sorted, nodes[i])
 		for _, j := range succ[i] {
 			indeg[j]--
 			if indeg[j] == 0 {
@@ -120,20 +143,51 @@ func New(n *hdl.Netlist) (*Simulator, error) {
 			}
 		}
 	}
-	if len(s.order) != len(nodes) {
+	if len(sorted) != len(nodes) {
 		for i, d := range indeg {
 			if d > 0 {
 				return nil, fmt.Errorf("sim: combinational cycle through %s", nodes[i].out().Name())
 			}
 		}
 	}
+
+	// Compile: precompute input ids and register staging slots so the per-
+	// cycle Eval loop touches only flat slices.
+	regSlot := make(map[*hdl.Signal]int32)
 	for _, sig := range n.Signals() {
 		if sig.Kind() != hdl.Reg {
 			continue
 		}
 		if _, ok := producer[sig]; ok {
+			regSlot[sig] = int32(len(s.regs))
 			s.regs = append(s.regs, sig)
 		}
+	}
+	s.next = make([]uint64, len(s.regs))
+	s.order = make([]cnode, len(sorted))
+	for i, nd := range sorted {
+		c := cnode{regSlot: -1, out: nd.out()}
+		if slot, ok := regSlot[c.out]; ok {
+			c.regSlot = slot
+		}
+		switch {
+		case nd.mux != nil:
+			c.kind = nkMux
+			c.sel = int32(nd.mux.Sel.ID())
+			c.tval = int32(nd.mux.TVal.ID())
+			c.fval = int32(nd.mux.FVal.ID())
+		case nd.prim != nil:
+			c.kind = nkPrim
+			c.prim = nd.prim
+		default:
+			c.kind = nkBuf
+			srcs := nd.buf.Sources()
+			c.bufIDs = make([]int32, len(srcs))
+			for k, src := range srcs {
+				c.bufIDs[k] = int32(src.ID())
+			}
+		}
+		s.order[i] = c
 	}
 	return s, nil
 }
@@ -142,47 +196,47 @@ func New(n *hdl.Netlist) (*Simulator, error) {
 func (s *Simulator) Netlist() *hdl.Netlist { return s.net }
 
 // Eval settles all combinational logic for the current cycle. Values
-// destined for registers are staged and only latched by Tick.
+// destined for registers are staged in the next slice and only latched by
+// Tick.
+//
+// Inputs are read straight from the netlist's dense value plane. Register
+// reads always see the latched value — not the value staged this cycle —
+// because staged values live in next until Tick copies them back through
+// Signal.Set.
 func (s *Simulator) Eval() {
-	for _, nd := range s.order {
-		out := nd.out()
+	vals := s.net.Values()
+	for i := range s.order {
+		nd := &s.order[i]
 		var v uint64
-		switch {
-		case nd.mux != nil:
-			if s.in(nd.mux.Sel) != 0 {
-				v = s.in(nd.mux.TVal)
+		switch nd.kind {
+		case nkMux:
+			if vals[nd.sel] != 0 {
+				v = vals[nd.tval]
 			} else {
-				v = s.in(nd.mux.FVal)
+				v = vals[nd.fval]
 			}
-		case nd.prim != nil:
+		case nkPrim:
 			v = nd.prim.Compute()
 		default:
-			for _, src := range nd.buf.Sources() {
-				v |= s.in(src)
+			for _, id := range nd.bufIDs {
+				v |= vals[id]
 			}
 		}
-		if out.Kind() == hdl.Reg {
-			s.next[out] = v & out.Mask()
+		if nd.regSlot >= 0 {
+			s.next[nd.regSlot] = v & nd.out.Mask()
 		} else {
-			out.Set(v)
+			nd.out.Set(v)
 		}
 	}
 }
 
-// in reads a combinational input value, honouring staged register values
-// only for non-register sources (registers present their latched value).
-func (s *Simulator) in(sig *hdl.Signal) uint64 {
-	return sig.Value()
-}
-
 // Tick settles combinational logic, latches registers, and advances the
-// clock one cycle.
+// clock one cycle. Every register in regs is driven by exactly one node that
+// Eval executes, so every next slot is freshly staged each cycle.
 func (s *Simulator) Tick() {
 	s.Eval()
-	for _, r := range s.regs {
-		if v, ok := s.next[r]; ok {
-			r.Set(v)
-		}
+	for i, r := range s.regs {
+		r.Set(s.next[i])
 	}
 	s.net.Step()
 }

@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"sonar/internal/hdl"
 )
@@ -131,6 +133,7 @@ func (a *Analysis) ByComponent() map[string][2]int {
 // cascade trees), the property the paper contrasts with SpecDoctor's O(n²)
 // instrumentation (§8.3.4).
 func Analyze(n *hdl.Netlist) *Analysis {
+	analyzeCalls.Add(1)
 	a := &Analysis{Netlist: n, NaiveMuxCount: n.NumMuxes()}
 	a.Points = make([]*Point, 0, n.NumMuxes()/2)
 	v := newValidity(n)
@@ -163,6 +166,63 @@ func collect(n *hdl.Netlist, m *hdl.Mux, p *Point, v *validity) {
 		}
 		p.Requests = append(p.Requests, v.request(in))
 	}
+}
+
+// analyzeCalls counts Analyze invocations process-wide. Sharing one analysis
+// across parallel workers (Analysis.Rebind) is cheap only if full analyses
+// actually stop happening; the counter lets tests assert that.
+var analyzeCalls atomic.Int64
+
+// AnalyzeCalls returns the number of times Analyze has run in this process.
+func AnalyzeCalls() int64 { return analyzeCalls.Load() }
+
+// Rebind returns a copy of the analysis with every signal and mux reference
+// remapped onto n, an independently elaborated instance of the same design.
+// Elaboration is deterministic, so dense ids line up one-to-one between
+// instances (see Signal.ID); remapping is a flat table walk, orders of
+// magnitude cheaper than re-running Analyze with its validity tracing.
+// Rebind panics if n is a different design (name or element counts differ).
+func (a *Analysis) Rebind(n *hdl.Netlist) *Analysis {
+	src := a.Netlist
+	if n.Name() != src.Name() || n.NumSignals() != src.NumSignals() || n.NumMuxes() != src.NumMuxes() {
+		panic(fmt.Sprintf("trace: Rebind onto incompatible netlist %q (%d signals, %d muxes) from %q (%d signals, %d muxes)",
+			n.Name(), n.NumSignals(), n.NumMuxes(), src.Name(), src.NumSignals(), src.NumMuxes()))
+	}
+	sig := func(s *hdl.Signal) *hdl.Signal {
+		if s == nil {
+			return nil
+		}
+		return n.SignalByID(s.ID())
+	}
+	out := &Analysis{Netlist: n, NaiveMuxCount: a.NaiveMuxCount}
+	out.Points = make([]*Point, len(a.Points))
+	for i, p := range a.Points {
+		q := &Point{
+			ID:        p.ID,
+			Root:      n.MuxByID(p.Root.ID()),
+			Out:       sig(p.Out),
+			Component: p.Component,
+			Muxes:     make([]*hdl.Mux, len(p.Muxes)),
+			Selects:   make([]*hdl.Signal, len(p.Selects)),
+			Requests:  make([]Request, len(p.Requests)),
+		}
+		for j, m := range p.Muxes {
+			q.Muxes[j] = n.MuxByID(m.ID())
+		}
+		for j, s := range p.Selects {
+			q.Selects[j] = sig(s)
+		}
+		for j := range p.Requests {
+			r := &p.Requests[j]
+			valids := make([]*hdl.Signal, len(r.Valids))
+			for k, v := range r.Valids {
+				valids[k] = sig(v)
+			}
+			q.Requests[j] = Request{Data: sig(r.Data), Valids: valids, SelfValid: r.SelfValid}
+		}
+		out.Points[i] = q
+	}
+	return out
 }
 
 // component extracts the top-level module segment from a module path.

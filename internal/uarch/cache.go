@@ -227,7 +227,7 @@ func (c *Cache) Reset() {
 	for i := range c.mshrs {
 		c.mshrs[i] = mshr{}
 	}
-	c.portResv = make(map[int64]bool)
+	clear(c.portResv)
 	if c.readLB != nil {
 		c.readLB.reset()
 	}

@@ -108,8 +108,16 @@ type Core struct {
 	seqNext  int64
 	lastProd [32]prodRef
 
-	fetchBuf []fetchedInstr
-	pending  *fetchGroup
+	// fetchBuf is a head-indexed queue: entries [fbHead:] are live. Dispatch
+	// consumes by advancing fbHead so the backing array keeps its capacity;
+	// fetch compacts to [:0] whenever the queue drains.
+	fetchBuf   []fetchedInstr
+	fbHead     int
+	pending    fetchGroup // in-flight fetch group, valid when hasPending
+	hasPending bool
+
+	// imgBuf is the scratch buffer LoadProgram renders program images into.
+	imgBuf []byte
 
 	redirectValid bool
 	redirectPC    uint64
@@ -165,7 +173,8 @@ func (c *Core) SetWindowObserver(w WindowObserver) { c.window = w }
 // The secret-dependent range is cleared; set it with SetSecretRange.
 func (c *Core) LoadProgram(p *isa.Program) {
 	c.prog = p
-	c.mem.WriteBytes(p.Base, p.Image())
+	c.imgBuf = p.AppendImage(c.imgBuf[:0])
+	c.mem.WriteBytes(p.Base, c.imgBuf)
 	c.pc = p.Base
 	c.secretStart, c.secretEnd = -1, -1
 }
@@ -199,6 +208,11 @@ func (c *Core) Halted() bool { return c.halted || c.cycle >= c.Cfg.MaxCycles }
 // Reset returns the core to its post-elaboration state. Caches, execution
 // units, and the bus are reset by the owning SoC, not here, because they
 // may be shared.
+//
+// The commit log is truncated in place, retaining its capacity: a caller
+// that wants to keep the previous run's records (or hand the core a private
+// buffer) must swap CommitLog itself before the next run, as DUT.Execute
+// and SoC.RunProgram do.
 func (c *Core) Reset() {
 	c.cycle = 0
 	c.pc = 0
@@ -209,13 +223,14 @@ func (c *Core) Reset() {
 	c.robHead, c.robTail, c.robCount = 0, 0, 0
 	c.seqNext = 0
 	c.clearProducers()
-	c.fetchBuf = nil
-	c.pending = nil
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fbHead = 0
+	c.hasPending = false
 	c.redirectValid = false
 	c.ldqCount, c.stqCount = 0, 0
 	c.halted = false
 	c.secretInROB = 0
-	c.CommitLog = nil
+	c.CommitLog = c.CommitLog[:0]
 	c.perf = PerfCounters{}
 	c.prog = nil
 	c.secretStart, c.secretEnd = -1, -1
@@ -248,7 +263,8 @@ func (c *Core) applyRedirect() {
 		c.pc = c.redirectPC
 		c.redirectValid = false
 		c.fetchBuf = c.fetchBuf[:0]
-		c.pending = nil
+		c.fbHead = 0
+		c.hasPending = false
 	}
 }
 
@@ -335,7 +351,8 @@ func (c *Core) flushAllAfterHead() {
 	}
 	c.robTail = c.robHead
 	c.fetchBuf = c.fetchBuf[:0]
-	c.pending = nil
+	c.fbHead = 0
+	c.hasPending = false
 	c.clearProducers()
 }
 
@@ -355,7 +372,8 @@ func (c *Core) flushYoungerThan(seq int64) {
 		c.robCount--
 	}
 	c.fetchBuf = c.fetchBuf[:0]
-	c.pending = nil
+	c.fbHead = 0
+	c.hasPending = false
 	c.rebuildProducers()
 }
 
@@ -580,17 +598,17 @@ func (c *Core) issueMem(e *robEntry, rs1, rs2 uint64) {
 
 func (c *Core) dispatch() {
 	for n := 0; n < c.Cfg.CoreWidth; n++ {
-		if len(c.fetchBuf) == 0 || c.robCount >= len(c.rob) {
+		if c.fbHead >= len(c.fetchBuf) || c.robCount >= len(c.rob) {
 			return
 		}
-		fi := c.fetchBuf[0]
+		fi := c.fetchBuf[c.fbHead]
 		if fi.ins.Op.IsLoad() && c.ldqCount >= c.Cfg.LDQEntries {
 			return
 		}
 		if fi.ins.Op.IsStore() && c.stqCount >= c.Cfg.STQEntries {
 			return
 		}
-		c.fetchBuf = c.fetchBuf[1:]
+		c.fbHead++
 		pos := c.robTail
 		e := &c.rob[pos]
 		*e = robEntry{
@@ -633,27 +651,33 @@ func (c *Core) dispatch() {
 // ---- fetch ----
 
 func (c *Core) fetch() {
+	// Compact the fetch queue once dispatch has drained it, so occupancy
+	// indices below stay small and the backing array is reused from 0.
+	if c.fbHead > 0 && c.fbHead == len(c.fetchBuf) {
+		c.fetchBuf = c.fetchBuf[:0]
+		c.fbHead = 0
+	}
 	// Drain a completed fetch group into the fetch buffer.
-	if c.pending != nil && c.pending.availAt <= c.cycle {
+	if c.hasPending && c.pending.availAt <= c.cycle {
 		for i, fi := range c.pending.instrs {
-			if len(c.fetchBuf) >= c.Cfg.FetchBufEntries {
+			if len(c.fetchBuf)-c.fbHead >= c.Cfg.FetchBufEntries {
 				break
 			}
 			c.fetchBuf = append(c.fetchBuf, fi)
 			if c.bulk.FetchBuf != nil {
-				c.bulk.FetchBuf.Touch(len(c.fetchBuf)-1, i%c.Cfg.FetchWidth, fi.pc, c.cycle)
+				c.bulk.FetchBuf.Touch(len(c.fetchBuf)-1-c.fbHead, i%c.Cfg.FetchWidth, fi.pc, c.cycle)
 			}
 		}
-		c.pending = nil
+		c.hasPending = false
 	}
-	if c.pending != nil || c.redirectValid {
+	if c.hasPending || c.redirectValid {
 		c.perf.FetchStallCycles++
 		return
 	}
-	if len(c.fetchBuf)+c.Cfg.FetchWidth > c.Cfg.FetchBufEntries {
+	if len(c.fetchBuf)-c.fbHead+c.Cfg.FetchWidth > c.Cfg.FetchBufEntries {
 		return
 	}
-	group := &fetchGroup{}
+	instrs := c.pending.instrs[:0]
 	pc := c.pc
 	for i := 0; i < c.Cfg.FetchWidth; i++ {
 		addr := pc + uint64(4*i)
@@ -661,26 +685,27 @@ func (c *Core) fetch() {
 			break // fetch groups do not cross cacheline boundaries
 		}
 		word := uint32(c.mem.Read(addr, 4))
-		ins, err := isa.Decode(word)
+		ins, ok := isa.DecodeWord(word)
 		idx := -1
 		if c.prog != nil {
 			idx = c.prog.IndexOf(addr)
 		}
-		if err != nil {
+		if !ok {
 			// Undecodable memory terminates the program.
-			group.instrs = append(group.instrs, fetchedInstr{pc: addr, idx: idx, ins: isa.Instr{Op: isa.ECALL}})
+			instrs = append(instrs, fetchedInstr{pc: addr, idx: idx, ins: isa.Instr{Op: isa.ECALL}})
 			break
 		}
-		group.instrs = append(group.instrs, fetchedInstr{pc: addr, idx: idx, ins: ins})
+		instrs = append(instrs, fetchedInstr{pc: addr, idx: idx, ins: ins})
 	}
-	if len(group.instrs) == 0 {
+	c.pending.instrs = instrs
+	if len(instrs) == 0 {
 		return
 	}
 	res := c.ICache.Access(0, c.pc, false, c.cycle)
-	group.availAt = res.Ready
+	c.pending.availAt = res.Ready
+	c.hasPending = true
 	c.perf.FetchGroups++
-	c.pc += uint64(4 * len(group.instrs))
-	c.pending = group
+	c.pc += uint64(4 * len(instrs))
 	if c.bulk.BTB != nil {
 		c.bulk.BTB.Touch(int(c.pc/4), 0, c.pc, c.cycle)
 	}

@@ -85,12 +85,13 @@ func NewExecUnits(mod *hdl.Module, pulser *Pulser, cfg *Config) *ExecUnits {
 	return e
 }
 
-// Reset clears unit occupancy between program runs.
+// Reset clears unit occupancy between program runs. The occupancy maps are
+// cleared in place so their buckets are reused across runs.
 func (e *ExecUnits) Reset() {
 	e.divBusyUntil = 0
 	e.mduBusyUntil = 0
-	e.mulIssued = make(map[int64]int)
-	e.wbTaken = make(map[int64]bool)
+	clear(e.mulIssued)
+	clear(e.wbTaken)
 }
 
 // wbClass identifies the requester class at the shared response port.

@@ -79,7 +79,11 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 	}
 }
 
-// Reset drops all contents but keeps the privileged range.
+// Reset drops all contents but keeps the privileged range. Allocated pages
+// are zeroed in place and kept resident, so re-running a similarly shaped
+// program touches no new memory.
 func (m *Memory) Reset() {
-	m.pages = make(map[uint64][]byte)
+	for _, p := range m.pages {
+		clear(p)
+	}
 }

@@ -18,6 +18,9 @@ type pulse struct {
 // replaying scheduled pulses when the simulation reaches their cycle.
 type Pulser struct {
 	pending map[int64][]pulse
+	// free recycles drained pulse slices so steady-state scheduling
+	// allocates nothing once the schedule shape has been seen.
+	free [][]pulse
 	// drained is the most recent cycle Drain ran for; pulses scheduled at
 	// or before it fire immediately (the core is mid-cycle).
 	drained int64
@@ -36,11 +39,19 @@ func (p *Pulser) At(cycle int64, valid, data *hdl.Signal, val uint64) {
 		fire(pulse{valid: valid, data: data, val: val})
 		return
 	}
-	p.pending[cycle] = append(p.pending[cycle], pulse{valid: valid, data: data, val: val})
+	lst, ok := p.pending[cycle]
+	if !ok && len(p.free) > 0 {
+		lst = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	}
+	p.pending[cycle] = append(lst, pulse{valid: valid, data: data, val: val})
 }
 
 // Drain fires all pulses scheduled for cycles up to and including the given
 // cycle. The runner calls it once per cycle before stepping the cores.
+// Drained slices go onto the free list for reuse by At; firing a pulse never
+// schedules another one (watch hooks do not call back into the Pulser), so
+// recycling here is safe.
 func (p *Pulser) Drain(cycle int64) {
 	for c := p.drained + 1; c <= cycle; c++ {
 		pulses, ok := p.pending[c]
@@ -51,6 +62,7 @@ func (p *Pulser) Drain(cycle int64) {
 		for _, pl := range pulses {
 			fire(pl)
 		}
+		p.free = append(p.free, pulses[:0])
 	}
 	p.drained = cycle
 }
@@ -63,9 +75,13 @@ func fire(pl pulse) {
 	pl.valid.Set(0)
 }
 
-// Reset drops all scheduled pulses and rewinds the drain clock.
+// Reset drops all scheduled pulses and rewinds the drain clock. The map and
+// the dropped slices are kept for reuse.
 func (p *Pulser) Reset() {
-	p.pending = make(map[int64][]pulse)
+	for c, lst := range p.pending {
+		p.free = append(p.free, lst[:0])
+		delete(p.pending, c)
+	}
 	p.drained = -1
 }
 

@@ -173,9 +173,13 @@ func (s *SoC) Run() int64 {
 }
 
 // RunProgram resets the system, loads the program on core 0, and runs to
-// completion. Other cores idle (halted with empty programs).
+// completion. Other cores idle (halted with empty programs). The returned
+// log is private to this call: it stays valid across later RunProgram calls.
 func (s *SoC) RunProgram(p *isa.Program) []CommitRecord {
 	s.Reset()
+	// Core.Reset retains the commit-log buffer; detach it so the returned
+	// slice is not clobbered by the next run.
+	s.Cores[0].CommitLog = nil
 	s.Cores[0].LoadProgram(p)
 	for _, c := range s.Cores[1:] {
 		c.halted = true
