@@ -27,15 +27,26 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 )
 
-// row mirrors the campaignResult schema bench_test.go emits; fields absent
-// from the baseline (zero) are not checked.
-type row struct {
-	ItersPerSec   float64 `json:"iters_per_sec"`
-	NsPerIter     float64 `json:"ns_per_iter"`
-	AllocsPerIter float64 `json:"allocs_per_iter"`
-	CyclesPerSec  float64 `json:"cycles_per_sec"`
+// row is one decoded benchmark entry: metric name → value. Decoding into a
+// plain map rather than a struct keeps "metric absent from the file"
+// distinguishable from "metric measured as zero" — a current file that
+// silently dropped allocs_per_iter must fail the gate, not sail through a
+// 0 <= ceiling comparison. Metrics the baseline itself omits are not
+// checked.
+type row map[string]float64
+
+// checkedMetrics are the metrics the gate enforces, with their direction:
+// floor metrics must not fall below baseline/factor, ceiling metrics must
+// not exceed baseline*factor.
+var checkedMetrics = []struct {
+	name  string
+	floor bool
+}{
+	{"iters_per_sec", true},
+	{"allocs_per_iter", false},
 }
 
 func load(path string) map[string]row {
@@ -77,17 +88,34 @@ func main() {
 			failed = true
 			continue
 		}
+		var missing []string
+		for _, m := range checkedMetrics {
+			if _, inBase := b[m.name]; !inBase {
+				continue
+			}
+			if _, inCur := c[m.name]; !inCur {
+				missing = append(missing, m.name)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Printf("FAIL %-20s %s present in baseline but missing from %s\n",
+				name, strings.Join(missing, ", "), *current)
+			failed = true
+			continue
+		}
 		status := "ok  "
-		switch {
-		case b.ItersPerSec > 0 && c.ItersPerSec < b.ItersPerSec/f:
-			status = "FAIL"
-			failed = true
-		case b.AllocsPerIter > 0 && c.AllocsPerIter > b.AllocsPerIter*f:
-			status = "FAIL"
-			failed = true
+		for _, m := range checkedMetrics {
+			bv := b[m.name]
+			if bv == 0 {
+				continue
+			}
+			if m.floor && c[m.name] < bv/f || !m.floor && c[m.name] > bv*f {
+				status = "FAIL"
+				failed = true
+			}
 		}
 		fmt.Printf("%s %-20s %9.0f iters/sec (floor %.0f)  %7.1f allocs/iter (ceil %.0f)\n",
-			status, name, c.ItersPerSec, b.ItersPerSec/f, c.AllocsPerIter, b.AllocsPerIter*f)
+			status, name, c["iters_per_sec"], b["iters_per_sec"]/f, c["allocs_per_iter"], b["allocs_per_iter"]*f)
 	}
 	if failed {
 		log.Fatal("performance regression detected (see docs/PERFORMANCE.md)")

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"sonar/internal/boom"
 	"sonar/internal/firrtl"
@@ -44,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		net, err = firrtl.Parse(string(src))
+		net, err = firrtl.ParseChecked(string(src))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +68,14 @@ func main() {
 	fmt.Printf("risk filter: %d monitorable points (%.1f%% filtered out)\n",
 		len(mon), 100*(1-float64(len(mon))/float64(len(a.Points))))
 	fmt.Println("distribution:")
-	for comp, n := range a.ByComponent() {
+	byComp := a.ByComponent()
+	comps := make([]string, 0, len(byComp))
+	for comp := range byComp {
+		comps = append(comps, comp)
+	}
+	sort.Strings(comps)
+	for _, comp := range comps {
+		n := byComp[comp]
 		fmt.Printf("  %-14s %6d traced %6d monitored\n", comp, n[0], n[1])
 	}
 	if !*requests {

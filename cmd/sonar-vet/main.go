@@ -1,0 +1,35 @@
+// Command sonar-vet is the repository's static-analysis gate: a vet tool
+// bundling the three Sonar analyzers (docs/STATIC_ANALYSIS.md):
+//
+//   - sonardeterminism: no wall-clock reads, global-source randomness, or
+//     unordered map iteration in packages feeding canonical output;
+//   - sonarallocfree: no heap-allocating constructs in functions annotated
+//     //sonar:alloc-free (the DUT.Execute arena path);
+//   - sonarexporteddoc: package comments everywhere, plus the
+//     exported-identifier documentation floor of internal packages.
+//
+// Usage:
+//
+//	sonar-vet ./...                                   # standalone, offline
+//	go vet -vettool=$(go env GOPATH)/bin/sonar-vet ./...   # cmd/go driver
+//
+// Both modes print file:line:col diagnostics to stderr and exit non-zero
+// when findings exist. The standalone mode type-checks the module from
+// source and needs no module cache; the vet-tool mode speaks cmd/go's unit
+// checking protocol and caches per-package results in the build cache.
+package main
+
+import (
+	"sonar/internal/lint/allocfree"
+	"sonar/internal/lint/determinism"
+	"sonar/internal/lint/exporteddoc"
+	"sonar/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		determinism.Analyzer,
+		allocfree.Analyzer,
+		exporteddoc.Analyzer,
+	)
+}

@@ -12,7 +12,10 @@
 // 7) operate at a realistic scale and distribution.
 package boom
 
-import "sonar/internal/uarch"
+import (
+	"sonar/internal/hdl/check"
+	"sonar/internal/uarch"
+)
 
 // Arrays returns the structural array layout of the BOOM-like netlist. The
 // points concentrate in the frontend, ROB, LSU, and bus, matching the
@@ -90,4 +93,18 @@ func NewLite() *uarch.SoC {
 // NewDualLite is NewDual without the bulk structural arrays.
 func NewDualLite() *uarch.SoC {
 	return uarch.NewSoC(uarch.BoomConfig(), 2, nil, nil)
+}
+
+// Check elaborates the single- and dual-core SoCs and structurally
+// verifies their netlists (package check, externally-driven profile: the
+// model pokes wires from Go code, so driver-coverage findings are
+// informational). A non-nil error means the elaboration itself is broken —
+// combinational cycle, double driver, or dense-id violation.
+func Check() error {
+	for _, soc := range []*uarch.SoC{New(), NewDual()} {
+		if err := check.Check(soc.Net, check.Options{ExternallyDriven: true}).Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

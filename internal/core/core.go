@@ -73,7 +73,7 @@ func (r *IdentificationReport) String() string {
 	fmt.Fprintf(&b, "%s: %d 2:1 MUXes -> %d contention points (%.1f%% reduction) -> %d monitored (%.1f%% filtered)\n",
 		r.Design, r.NaiveMuxes, r.TracedPoints, 100*r.TracingReduction(), r.MonitoredPoints, 100*r.FilterReduction())
 	comps := make([]string, 0, len(r.ByComponent))
-	for c := range r.ByComponent {
+	for c := range r.ByComponent { //sonar:nondeterministic-ok keys collected then sorted
 		comps = append(comps, c)
 	}
 	sort.Strings(comps)

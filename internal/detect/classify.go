@@ -91,7 +91,7 @@ func Classify(findings []*Finding) []ChannelClass {
 		}
 	}
 	idxs := make([]int, 0, len(byRule))
-	for i := range byRule {
+	for i := range byRule { //sonar:nondeterministic-ok keys collected then sorted
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)

@@ -104,7 +104,7 @@ type StateDiff struct {
 	// Volatile marks a simultaneous-arrival (interval 0) contention in
 	// either run; Persistent marks a same-path revisit.
 	Volatile   bool
-	Persistent bool
+	Persistent bool // same-path revisit contention in either run
 }
 
 // StateCompare performs the contention-state differential between two

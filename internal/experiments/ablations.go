@@ -76,8 +76,8 @@ func AblationWindow(iterations int) AblationWindowResult {
 // AblationDirectionResult compares the adaptive mutation-direction policy
 // against random directions at equal budget.
 type AblationDirectionResult struct {
-	AdaptivePoints, RandomDirPoints           int
-	AdaptiveTimingDiffs, RandomDirTimingDiffs int
+	AdaptivePoints, RandomDirPoints           int // triggered contention points per policy
+	AdaptiveTimingDiffs, RandomDirTimingDiffs int // secret-dependent timing differences per policy
 }
 
 // AblationDirection runs two equal campaigns differing only in the

@@ -12,8 +12,8 @@ import (
 
 // Series is one cumulative campaign curve.
 type Series struct {
-	Name   string
-	Points []fuzz.IterStats
+	Name   string           // legend label
+	Points []fuzz.IterStats // cumulative per-iteration samples
 }
 
 // Final returns the last point of the series.
@@ -39,9 +39,9 @@ func (s Series) sample(b *strings.Builder) {
 
 // Figure8Result compares Sonar against random testing on one DUT.
 type Figure8Result struct {
-	DUT    string
-	Sonar  Series
-	Random Series
+	DUT    string // DUT name ("boom" or "nutshell")
+	Sonar  Series // Sonar's guided campaign
+	Random Series // random-testing baseline at equal budget
 }
 
 // ContentionGain is Sonar's relative increase in triggered contention
@@ -104,7 +104,7 @@ func RenderFigure8(rs []Figure8Result) string {
 // Figure9Result is the single-valid dominance breakdown of the first 20
 // testcases' newly triggered contentions.
 type Figure9Result struct {
-	DUT string
+	DUT string // DUT name ("boom" or "nutshell")
 	// PerTestcase holds [singleValidDominated, other] per testcase.
 	PerTestcase [][2]int
 }
@@ -182,8 +182,8 @@ func RenderFigure10(r Figure10Result) string {
 
 // Figure11Result compares Sonar with the SpecDoctor-style baseline.
 type Figure11Result struct {
-	Sonar      Series
-	SpecDoctor Series
+	Sonar      Series // Sonar's guided campaign
+	SpecDoctor Series // SpecDoctor-style exhaustive baseline
 	// Complexity holds the per-module-size instrumentation cost
 	// measurements (O(n) vs O(n^2), §8.3.4).
 	Complexity []baseline.ComplexityPoint

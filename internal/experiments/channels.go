@@ -13,11 +13,11 @@ import (
 
 // Table3Row is one side channel of paper Table 3.
 type Table3Row struct {
-	ID          string
-	DUT         string
-	Resource    string
-	Description string
-	New         bool
+	ID          string // channel identifier (S1..S14)
+	DUT         string // DUT the channel was found on
+	Resource    string // contended hardware resource
+	Description string // one-line channel description
+	New         bool   // newly discovered by Sonar (not previously known)
 	// TimeDiff is the measured secret-dependent timing difference in
 	// cycles (PoC calibration signal, or direct scenario delta for the
 	// previously known channels).

@@ -18,7 +18,7 @@ import (
 type DurabilityResult struct {
 	// Iterations and Workers describe the campaigns compared.
 	Iterations int
-	Workers    int
+	Workers    int // worker count of the compared campaigns
 	// PausedAt is the campaign position (iterations) of the pause
 	// checkpoint.
 	PausedAt int

@@ -10,8 +10,8 @@ import (
 
 // MitigationRow is one PoC evaluated under one mitigation configuration.
 type MitigationRow struct {
-	PoC        string
-	Mitigation string
+	PoC        string // proof-of-concept channel evaluated
+	Mitigation string // mitigation configuration applied
 	// BitAccuracy under the mitigation (baseline column repeats the
 	// unmitigated accuracy).
 	BitAccuracy float64

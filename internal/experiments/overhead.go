@@ -16,7 +16,7 @@ import (
 
 // Table2Row is one DUT's instrumentation overhead measurement.
 type Table2Row struct {
-	DUT string
+	DUT string // DUT name ("boom" or "nutshell")
 	// ContentionPoints is the number of traced points.
 	ContentionPoints int
 	// MonitoredPoints is the instrumented subset.

@@ -13,8 +13,8 @@ import (
 // parallel engine at an equal iteration budget (the scaling experiment the
 // paper's 80-core campaign host implies).
 type ParallelResult struct {
-	Iterations int
-	Workers    int
+	Iterations int // iteration budget of both campaigns
+	Workers    int // shard count of the parallel campaign
 	// SerialNs and ParallelNs are the wall-clock campaign times.
 	SerialNs, ParallelNs int64
 	// SerialPoints and ParallelPoints are the final triggered-contention

@@ -15,9 +15,9 @@ import (
 	"sonar/internal/uarch"
 )
 
-// Table1 reproduces the DUT configuration table.
+// Table1Result reproduces the DUT configuration table.
 type Table1Result struct {
-	Boom, Nutshell uarch.Config
+	Boom, Nutshell uarch.Config // the two DUT configurations compared
 }
 
 // Table1 returns the key parameters of both DUTs.
@@ -25,6 +25,7 @@ func Table1() *Table1Result {
 	return &Table1Result{Boom: uarch.BoomConfig(), Nutshell: uarch.NutshellConfig()}
 }
 
+// String renders the table in the paper's row layout.
 func (r *Table1Result) String() string {
 	var b strings.Builder
 	b.WriteString("Table 1: Key parameters of BOOM and NutShell\n")
@@ -57,9 +58,9 @@ func mulDesc(c uarch.Config) string {
 
 // Figure6Result is one DUT's contention-point identification comparison.
 type Figure6Result struct {
-	DUT          string
-	NaiveMuxes   int
-	TracedPoints int
+	DUT          string // DUT name ("boom" or "nutshell")
+	NaiveMuxes   int    // every mux counted as a candidate point
+	TracedPoints int    // points surviving bottom-up tracing
 }
 
 // Reduction is the fraction eliminated by bottom-up tracing (paper: 71.5%
@@ -99,10 +100,10 @@ func RenderFigure6(rs []Figure6Result) string {
 
 // Figure7Result is one DUT's distribution and filtering outcome.
 type Figure7Result struct {
-	DUT         string
-	Traced      int
-	Monitored   int
-	ByComponent map[string][2]int
+	DUT         string            // DUT name ("boom" or "nutshell")
+	Traced      int               // points found by tracing
+	Monitored   int               // points kept after the risk filter
+	ByComponent map[string][2]int // component -> [traced, monitored]
 }
 
 // FilterReduction is the fraction dropped by the §5.2 risk filter

@@ -32,14 +32,16 @@ import (
 	"strings"
 
 	"sonar/internal/hdl"
+	"sonar/internal/hdl/check"
 )
 
 // ParseError describes a syntax error with its line number.
 type ParseError struct {
-	Line int
-	Msg  string
+	Line int    // 1-based source line of the error
+	Msg  string // what went wrong
 }
 
+// Error formats the error with its line number.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("firrtl: line %d: %s", e.Line, e.Msg)
 }
@@ -51,6 +53,23 @@ type parser struct {
 	// tmp counters for anonymous wires/constants, per module
 	nTmp   int
 	nConst int
+}
+
+// ParseChecked parses FIRRTL-subset source text and then structurally
+// verifies the resulting netlist under the strict profile (package check):
+// combinational cycles, undriven consumed wires, double drivers, dangling
+// selects, and dense-id violations all fail. A FIRRTL circuit is a closed
+// design, so unlike the externally-poked model netlists there is no
+// legitimate reason for a consumed wire to lack a driver.
+func ParseChecked(src string) (*hdl.Netlist, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := check.Check(n, check.Options{}).Err(); err != nil {
+		return nil, err
+	}
+	return n, nil
 }
 
 // Parse parses FIRRTL-subset source text into a netlist.

@@ -412,7 +412,7 @@ func (a *statsAccum) apply(o outcome) {
 		CumTimingDiffs: cum,
 	})
 	if a.obs != nil {
-		for id, v := range o.intvls {
+		for id, v := range o.intvls { //sonar:nondeterministic-ok metrics-only gauges; min-fold is order-insensitive
 			if old, ok := a.best[id]; !ok || v < old {
 				a.best[id] = v
 				a.obs.SetBestInterval(id, v)

@@ -76,7 +76,7 @@ type pointIntvl struct {
 // sortIntvls converts an interval map to its canonical checkpoint form.
 func sortIntvls(m map[int]int64) []pointIntvl {
 	out := make([]pointIntvl, 0, len(m))
-	for id, v := range m {
+	for id, v := range m { //sonar:nondeterministic-ok keys collected then sorted
 		out = append(out, pointIntvl{Point: id, Intvl: v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
@@ -200,7 +200,7 @@ func (c *coordinator) snapshot(complete bool) *Checkpoint {
 		cp.Stats.FindingSeeds[i] = tc.Marshal()
 	}
 	cp.Stats.Triggered = make([]int, 0, len(st.TriggeredPoints))
-	for id := range st.TriggeredPoints {
+	for id := range st.TriggeredPoints { //sonar:nondeterministic-ok keys collected then sorted
 		cp.Stats.Triggered = append(cp.Stats.Triggered, id)
 	}
 	sort.Ints(cp.Stats.Triggered)

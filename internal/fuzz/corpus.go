@@ -45,7 +45,7 @@ func (c *Corpus) Snapshot() *Corpus {
 		seeds: append([]*Seed(nil), c.seeds...),
 		best:  make(map[int]int64, len(c.best)),
 	}
-	for id, v := range c.best {
+	for id, v := range c.best { //sonar:nondeterministic-ok map-to-map copy is order-insensitive
 		cp.best[id] = v
 	}
 	return cp
@@ -66,7 +66,7 @@ func (c *Corpus) Best(point int) int64 {
 // retained.
 func (c *Corpus) Offer(tc *Testcase, intvls map[int]int64, dir int, target int) *Seed {
 	improved := false
-	for id, v := range intvls {
+	for id, v := range intvls { //sonar:nondeterministic-ok min-fold is order-insensitive
 		if old, ok := c.best[id]; !ok || v < old {
 			c.best[id] = v
 			improved = true
@@ -102,7 +102,7 @@ func (c *Corpus) Select(rng *rand.Rand, prioritize bool) (*Seed, int) {
 		v  int64
 	}
 	var cands []cand
-	for id, v := range c.best {
+	for id, v := range c.best { //sonar:nondeterministic-ok candidates collected then sorted
 		if v == 0 {
 			continue // already triggered; approaching it halts (paper §6.1)
 		}
@@ -147,7 +147,7 @@ func anyPoint(rng *rand.Rand, intvls map[int]int64) int {
 	// seeds give equal campaigns (the determinism contract of Run and
 	// RunParallel).
 	ids := make([]int, 0, len(intvls))
-	for id := range intvls {
+	for id := range intvls { //sonar:nondeterministic-ok keys collected then sorted
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

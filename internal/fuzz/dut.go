@@ -162,6 +162,8 @@ type Execution struct {
 // and is overwritten by the one after that. Callers that need longer-lived
 // data must copy it out, as package detect does. Steady-state runs on a
 // warm DUT perform no heap allocations.
+//
+//sonar:alloc-free
 func (d *DUT) Execute(tc *Testcase, secret uint64) *Execution {
 	ar := &d.arenas[d.arenaIdx]
 	d.arenaIdx = 1 - d.arenaIdx

@@ -311,7 +311,7 @@ func (c *coordinator) runRound() {
 	// Merge phase, canonical worker order: fold outcomes into the global
 	// stats and re-offer retained seeds to the global corpus (re-offering
 	// drops seeds another worker has already beaten).
-	mergeStart := time.Now()
+	mergeStart := time.Now() //sonar:nondeterministic-ok merge duration feeds a BatchMerged metric, not canonical output
 	merged := 0
 	for i, w := range c.ws {
 		if w == nil {
@@ -335,7 +335,7 @@ func (c *coordinator) runRound() {
 		}
 		w.corpus = c.global.Snapshot()
 	}
-	c.opt.Observer.BatchMerged(c.round, merged, c.global.Len(), time.Since(mergeStart))
+	c.opt.Observer.BatchMerged(c.round, merged, c.global.Len(), time.Since(mergeStart)) //sonar:nondeterministic-ok operator-facing duration metric only
 }
 
 // superviseShard drains one batch of n iterations on shard i, retrying on a
@@ -402,7 +402,7 @@ type attemptResult struct {
 func (c *coordinator) attemptBatch(w *worker, i, n int, cursor uint64) (attemptResult, error) {
 	done := make(chan attemptResult, 1)
 	failed := make(chan string, 1)
-	start := time.Now()
+	start := time.Now() //sonar:nondeterministic-ok batch wall time feeds worker-busy metrics, not canonical output
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -424,7 +424,7 @@ func (c *coordinator) attemptBatch(w *worker, i, n int, cursor uint64) (attemptR
 	}
 	select {
 	case res := <-done:
-		c.opt.Observer.WorkerBatch(i, n, time.Since(start))
+		c.opt.Observer.WorkerBatch(i, n, time.Since(start)) //sonar:nondeterministic-ok operator-facing duration metric only
 		return res, nil
 	case msg := <-failed:
 		return attemptResult{}, fmt.Errorf("%s", msg)
@@ -446,12 +446,12 @@ func (c *coordinator) writeCheckpoint(complete bool) {
 	if !complete && done == c.lastSaved {
 		return // already persisted at this position
 	}
-	start := time.Now()
+	start := time.Now() //sonar:nondeterministic-ok checkpoint save duration feeds a metric, not canonical output
 	cp := c.snapshot(complete)
 	size, err := cp.Save(c.opt.Checkpoint)
 	if err != nil {
 		return
 	}
 	c.lastSaved = done
-	c.opt.Observer.CheckpointSaved(done, size, time.Since(start))
+	c.opt.Observer.CheckpointSaved(done, size, time.Since(start)) //sonar:nondeterministic-ok operator-facing duration metric only
 }

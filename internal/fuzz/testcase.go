@@ -211,6 +211,8 @@ func (tc *Testcase) Build() (prog *isa.Program, secretStart, secretEnd int) {
 // instruction buffer, and returns the static index range [start, end) of the
 // secret-dependent region. Repeated builds into the same program allocate
 // nothing once the buffer has grown to the largest testcase seen.
+//
+//sonar:alloc-free
 func (tc *Testcase) BuildInto(prog *isa.Program) (secretStart, secretEnd int) {
 	code := appendSetup(prog.Code[:0])
 	code = append(code, tc.HeadChain...)
@@ -237,6 +239,8 @@ func (tc *Testcase) BuildAttacker() *isa.Program {
 
 // BuildAttackerInto assembles the dual-core attacker program into prog,
 // reusing prog's instruction buffer.
+//
+//sonar:alloc-free
 func (tc *Testcase) BuildAttackerInto(prog *isa.Program) {
 	code := append(prog.Code[:0],
 		isa.Instr{Op: isa.LUI, Rd: RegDataBase, Imm: int64(AttackerDataBase >> 12)},

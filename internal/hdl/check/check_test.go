@@ -1,0 +1,233 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"sonar/internal/boom"
+	"sonar/internal/firrtl"
+	"sonar/internal/hdl"
+	"sonar/internal/hdl/check"
+	"sonar/internal/nutshell"
+	"sonar/internal/trace"
+)
+
+// codes flattens a report's finding codes in order, for compact table
+// comparisons.
+func codes(r *check.Report) []check.Code {
+	out := make([]check.Code, len(r.Findings))
+	for i, f := range r.Findings {
+		out[i] = f.Code
+	}
+	return out
+}
+
+func count(r *check.Report, c check.Code) int { return len(r.ByCode(c)) }
+
+func TestCombinationalCycle(t *testing.T) {
+	n := hdl.NewNetlist("cyclic")
+	mod := n.Module("top")
+	a := mod.Wire("a", 8)
+	b := mod.Wire("b", 8)
+	a.AddSource(b)
+	b.AddSource(a)
+
+	r := check.Check(n, check.Options{})
+	if got := count(r, check.CodeCycle); got != 2 {
+		t.Fatalf("cycle findings = %d, want 2 (one per stuck node); findings: %v", got, codes(r))
+	}
+	if r.OK() {
+		t.Fatal("OK() = true for a cyclic netlist")
+	}
+	err := r.Err()
+	if err == nil || !strings.Contains(err.Error(), "combinational cycle") {
+		t.Fatalf("Err() = %v, want combinational cycle diagnostic", err)
+	}
+}
+
+func TestRegisterBreaksCycle(t *testing.T) {
+	// The same loop, but one hop goes through a register: the levelized
+	// simulator can order this (the reg edge carries last cycle's value),
+	// so check must accept it.
+	n := hdl.NewNetlist("reg-loop")
+	mod := n.Module("top")
+	w := mod.Wire("w", 8)
+	r := mod.Reg("r", 8)
+	w.AddSource(r)
+	r.AddSource(w)
+
+	rep := check.Check(n, check.Options{})
+	if got := count(rep, check.CodeCycle); got != 0 {
+		t.Fatalf("cycle findings = %d for a register-broken loop, want 0; findings: %v", got, codes(rep))
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil", err)
+	}
+}
+
+func TestUndrivenConsumedWire(t *testing.T) {
+	n := hdl.NewNetlist("undriven")
+	mod := n.Module("top")
+	sel := mod.Input("sel", 1)
+	d := mod.Wire("d", 8) // consumed as mux data, never driven
+	e := mod.Input("e", 8)
+	mod.Mux("out", sel, d, e)
+	mod.Wire("dead", 8) // unconsumed: dead, not broken — must stay silent
+
+	r := check.Check(n, check.Options{})
+	und := r.ByCode(check.CodeUndriven)
+	if len(und) != 1 {
+		t.Fatalf("undriven findings = %d, want 1; findings: %v", len(und), codes(r))
+	}
+	f := und[0]
+	if f.Signal != d {
+		t.Fatalf("undriven finding names %s, want %s", f.Signal.Name(), d.Name())
+	}
+	if f.Severity != check.Error {
+		t.Fatalf("strict profile severity = %s, want error", f.Severity)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "no driver") {
+		t.Fatalf("Err() = %v, want undriven diagnostic", err)
+	}
+
+	// The externally-driven profile (boom/nutshell style, wires poked from
+	// Go) demotes the same finding to Info.
+	r = check.Check(n, check.Options{ExternallyDriven: true})
+	und = r.ByCode(check.CodeUndriven)
+	if len(und) != 1 || und[0].Severity != check.Info {
+		t.Fatalf("externally-driven undriven findings = %v, want one Info", und)
+	}
+	if !r.OK() {
+		t.Fatalf("OK() = false under ExternallyDriven; Err() = %v", r.Err())
+	}
+}
+
+func TestMultiDriven(t *testing.T) {
+	n := hdl.NewNetlist("multi")
+	mod := n.Module("top")
+	sel := mod.Input("sel", 1)
+	a := mod.Input("a", 8)
+	b := mod.Input("b", 8)
+	out := mod.Wire("out", 8)
+	mod.MuxInto(out, sel, a, b)
+	n.Prim(out, "or", []*hdl.Signal{a, b}, nil)
+
+	r := check.Check(n, check.Options{ExternallyDriven: true})
+	md := r.ByCode(check.CodeMultiDriven)
+	if len(md) != 1 || md[0].Signal != out {
+		t.Fatalf("multi-driven findings = %v, want exactly one on %s", md, out.Name())
+	}
+	if r.OK() {
+		t.Fatal("OK() = true; multi-driven must stay an error even under ExternallyDriven")
+	}
+}
+
+func TestDanglingSelect(t *testing.T) {
+	n := hdl.NewNetlist("dangling")
+	mod := n.Module("top")
+	sel := mod.Wire("sel", 1) // declared but never driven
+	a := mod.Input("a", 8)
+	b := mod.Input("b", 8)
+	m := mod.Mux("out", sel, a, b)
+
+	r := check.Check(n, check.Options{})
+	ds := r.ByCode(check.CodeDanglingSelect)
+	if len(ds) != 1 || ds[0].Mux != m || ds[0].Signal != sel {
+		t.Fatalf("dangling-select findings = %v, want exactly one on mux %s", ds, m.Out.Name())
+	}
+	if ds[0].Severity != check.Error {
+		t.Fatalf("strict dangling-select severity = %s, want error", ds[0].Severity)
+	}
+	if check.Check(n, check.Options{ExternallyDriven: true}).OK() != true {
+		t.Fatal("ExternallyDriven must demote dangling-select to Info")
+	}
+}
+
+func TestConstSelectCrossChecksTrace(t *testing.T) {
+	// A two-level cascade whose inner mux selects through a literal
+	// constant. check flags it as a const-select finding; trace.Analyze
+	// records the very same mux in the point's ConstSelects. The two layers
+	// must agree mux-for-mux.
+	n := hdl.NewNetlist("constsel")
+	mod := n.Module("top")
+	c0 := mod.Const("c0", 1, 1)
+	rootSel := mod.Input("root_sel", 1)
+	a := mod.Input("a", 8)
+	b := mod.Input("b", 8)
+	c := mod.Input("c", 8)
+	inner := mod.Mux("inner", c0, a, b)
+	mod.Mux("root", rootSel, inner.Out, c)
+
+	r := check.Check(n, check.Options{ExternallyDriven: true})
+	cs := r.ConstSelects()
+	if len(cs) != 1 || cs[0] != inner {
+		t.Fatalf("check ConstSelects() = %v, want [%v]", cs, inner)
+	}
+	if !r.OK() {
+		t.Fatalf("const-select must be Info-only; Err() = %v", r.Err())
+	}
+
+	a2 := trace.Analyze(n)
+	if len(a2.Points) != 1 {
+		t.Fatalf("trace found %d points, want 1", len(a2.Points))
+	}
+	traced := a2.Points[0].ConstSelects
+	if len(traced) != len(cs) {
+		t.Fatalf("trace ConstSelects = %d muxes, check = %d; the layers disagree", len(traced), len(cs))
+	}
+	for i := range traced {
+		if traced[i].ID() != cs[i].ID() {
+			t.Fatalf("trace ConstSelects[%d] = mux %d, check = mux %d", i, traced[i].ID(), cs[i].ID())
+		}
+	}
+}
+
+func TestBoomNetlistPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full BOOM elaboration in -short mode")
+	}
+	if err := boom.Check(); err != nil {
+		t.Fatalf("boom.Check() = %v", err)
+	}
+}
+
+func TestNutshellNetlistPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full NutShell elaboration in -short mode")
+	}
+	if err := nutshell.Check(); err != nil {
+		t.Fatalf("nutshell.Check() = %v", err)
+	}
+}
+
+func TestParseCheckedGatesFirrtl(t *testing.T) {
+	good := `circuit Top :
+  module Top :
+    input sel : UInt<1>
+    input a : UInt<8>
+    input b : UInt<8>
+    output o : UInt<8>
+    o <= mux(sel, a, b)
+`
+	if _, err := firrtl.ParseChecked(good); err != nil {
+		t.Fatalf("ParseChecked(good) = %v", err)
+	}
+
+	// w is consumed by the mux but never connected: parses fine, fails the
+	// structural gate under the strict (closed-design) profile.
+	bad := `circuit Top :
+  module Top :
+    input sel : UInt<1>
+    input b : UInt<8>
+    output o : UInt<8>
+    wire w : UInt<8>
+    o <= mux(sel, w, b)
+`
+	if _, err := firrtl.Parse(bad); err != nil {
+		t.Fatalf("Parse(bad) = %v, want plain parse to succeed", err)
+	}
+	_, err := firrtl.ParseChecked(bad)
+	if err == nil || !strings.Contains(err.Error(), "no driver") {
+		t.Fatalf("ParseChecked(bad) = %v, want undriven-wire error", err)
+	}
+}

@@ -10,10 +10,10 @@ import "fmt"
 type Mux struct {
 	id   int
 	net  *Netlist
-	Out  *Signal
-	Sel  *Signal
-	TVal *Signal
-	FVal *Signal
+	Out  *Signal // driven output
+	Sel  *Signal // select: 1 routes TVal, 0 routes FVal
+	TVal *Signal // true-branch input
+	FVal *Signal // false-branch input
 }
 
 // ID returns the netlist-unique identifier of the mux.

@@ -180,7 +180,7 @@ func (n *Netlist) ModulePaths() []string {
 		set[m.ModulePath()] = true
 	}
 	paths := make([]string, 0, len(set))
-	for p := range set {
+	for p := range set { //sonar:nondeterministic-ok keys collected then sorted
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)

@@ -116,6 +116,8 @@ func (s *Signal) Mask() uint64 { return s.mask }
 // The watcher check is a single bit test in the netlist's watchBits bitset,
 // so unwatched signals (the overwhelming majority) pay no indirection past
 // the dense value plane.
+//
+//sonar:alloc-free
 func (s *Signal) Set(v uint64) {
 	if s.kind == Const {
 		panic(fmt.Sprintf("hdl: Set on constant signal %s", s.name))

@@ -64,7 +64,7 @@ var (
 )
 
 func init() {
-	for op, e := range encTable {
+	for op, e := range encTable { //sonar:nondeterministic-ok writes to disjoint fixed indices; order-insensitive
 		switch e.opcode {
 		case opcOp:
 			decOp[e.funct7<<3|e.funct3] = uint16(op) + 1
@@ -135,6 +135,8 @@ func Decode(w uint32) (Instr, error) {
 // outside the supported subset. The per-cycle fetch path uses it so that
 // running into undecodable memory (the normal way programs halt) does not
 // allocate an error object per fetched word.
+//
+//sonar:alloc-free
 func DecodeWord(w uint32) (Instr, bool) {
 	opcode := w & 0x7f
 	rd := uint8(w >> 7 & 31)

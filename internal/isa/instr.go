@@ -4,10 +4,10 @@ import "fmt"
 
 // Instr is one decoded instruction.
 type Instr struct {
-	Op  Op
+	Op  Op    // operation code
 	Rd  uint8 // destination register x0..x31
-	Rs1 uint8
-	Rs2 uint8
+	Rs1 uint8 // first source register
+	Rs2 uint8 // second source register
 	Imm int64 // sign-extended immediate (branch/jump offsets in bytes)
 }
 

@@ -8,8 +8,8 @@ import (
 
 // Program is an instruction sequence placed at a base address.
 type Program struct {
-	Base uint64
-	Code []Instr
+	Base uint64  // load address of the first instruction
+	Code []Instr // the instruction sequence
 }
 
 // NewProgram creates a program at the given base address.
@@ -46,6 +46,8 @@ func (p *Program) Image() []byte {
 // AppendImage appends the little-endian binary image of the program to dst
 // and returns the extended slice. Passing a recycled buffer makes repeated
 // image rendering allocation-free.
+//
+//sonar:alloc-free
 func (p *Program) AppendImage(dst []byte) []byte {
 	off := len(dst)
 	if need := off + 4*len(p.Code); cap(dst) < need {

@@ -1,0 +1,387 @@
+// Package allocfree implements the sonar-vet analyzer that enforces the
+// zero-allocation contract on functions annotated //sonar:alloc-free.
+//
+// The steady-state DUT.Execute path recycles every buffer it needs through
+// two arenas; a single reintroduced per-iteration allocation shows up
+// directly as GC time in campaign throughput. AllocsPerRun tests catch such
+// regressions at test time; this analyzer catches the constructs that cause
+// them at vet time, inside any function whose doc comment carries
+// //sonar:alloc-free:
+//
+//   - make and new (unless the make sits under a capacity guard — an if
+//     whose condition consults cap(...), the grow-on-cold-path idiom);
+//   - append calls that may grow a fresh slice: allowed only when
+//     re-slicing an existing buffer (append(buf[:0], ...)) or feeding the
+//     result back into the appended slice (buf = append(buf, ...)), both
+//     amortized-zero on a warm arena;
+//   - composite literals that allocate: slice/map literals, and literals
+//     with their address taken (&T{...}); plain value literals are stores,
+//     not allocations, and stay legal;
+//   - function literals (closure allocation) and fmt calls;
+//   - interface boxing: passing, assigning, converting, or returning a
+//     concrete value where an interface is expected.
+//
+// Constructs inside a panic(...) argument are exempt — a panicking hot path
+// has already left the steady state. Anything else intentional (one-time
+// lazy initialization, cold error paths) is waived per line with
+// //sonar:alloc-ok <reason>.
+//
+// The check is intraprocedural: callees must themselves be annotated (or
+// covered by AllocsPerRun tests) for the contract to compose.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sonar/internal/lint/analysis"
+	"sonar/internal/lint/directive"
+)
+
+// Analyzer enforces //sonar:alloc-free function contracts.
+var Analyzer = &analysis.Analyzer{
+	Name: "sonarallocfree",
+	Doc:  "flags heap-allocating constructs inside functions annotated //sonar:alloc-free",
+	Run:  run,
+}
+
+// Directive names used by the analyzer.
+const (
+	contractDirective = "alloc-free"
+	okDirective       = "alloc-ok"
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		dirs := directive.ParseFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, annotated := directive.FuncDirective(fd, contractDirective); !annotated {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: fd}
+			c.prepare()
+			c.check()
+		}
+	}
+	return nil, nil
+}
+
+// posRange is a half-open source region [from, to).
+type posRange struct{ from, to token.Pos }
+
+// contains reports whether pos falls inside any of the ranges.
+func contains(rs []posRange, pos token.Pos) bool {
+	for _, r := range rs {
+		if r.from <= pos && pos < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// checker scans one annotated function body.
+type checker struct {
+	pass *analysis.Pass
+	dirs *directive.Map
+	fn   *ast.FuncDecl
+
+	// assignOf maps a call appearing as an assignment RHS to that
+	// assignment, for the buf = append(buf, ...) idiom.
+	assignOf map[*ast.CallExpr]*ast.AssignStmt
+	// guarded are if-bodies whose condition consults cap(...).
+	guarded []posRange
+	// panics are panic(...) argument regions (cold by definition).
+	panics []posRange
+	// handled marks composite literals already reported as address-taken.
+	handled map[*ast.CompositeLit]bool
+}
+
+// prepare records assignment parents, capacity-guard regions, and panic
+// regions in one pre-pass.
+func (c *checker) prepare() {
+	c.assignOf = make(map[*ast.CallExpr]*ast.AssignStmt)
+	c.handled = make(map[*ast.CompositeLit]bool)
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					c.assignOf[call] = n
+				}
+			}
+		case *ast.IfStmt:
+			if condConsultsCap(n.Cond) {
+				c.guarded = append(c.guarded, posRange{n.Body.Pos(), n.Body.End()})
+			}
+		case *ast.CallExpr:
+			if isPanic(c.pass.TypesInfo, n) {
+				c.panics = append(c.panics, posRange{n.Lparen, n.Rparen + 1})
+			}
+		}
+		return true
+	})
+}
+
+// report emits a finding unless the construct sits on a panic path or the
+// line carries an alloc-ok waiver.
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	if contains(c.panics, pos) || c.dirs.Allows(pos, okDirective) {
+		return
+	}
+	c.pass.Reportf(pos, format+" in //sonar:alloc-free function %s (waive with //sonar:alloc-ok <reason>)", append(args, c.fn.Name.Name)...)
+}
+
+// check runs the main pass over the function body.
+func (c *checker) check() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.handled[cl] = true
+					c.report(n.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if !c.handled[n] {
+				c.checkCompositeLit(n)
+			}
+		case *ast.FuncLit:
+			c.report(n.Pos(), "function literal allocates a closure")
+			return false // do not descend: the closure body runs off the hot path's books
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+// checkCall handles builtins (make/new/append), fmt calls, conversions to
+// interfaces, and interface boxing at call boundaries.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if name, ok := builtinName(info, call); ok {
+		switch name {
+		case "make":
+			if !contains(c.guarded, call.Pos()) {
+				c.report(call.Pos(), "make allocates outside a cap(...) growth guard")
+			}
+		case "new":
+			c.report(call.Pos(), "new allocates")
+		case "append":
+			c.checkAppend(call)
+		}
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.report(call.Pos(), "call to fmt.%s allocates", fn.Name())
+		return
+	}
+	// Type conversion to an interface boxes the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0], tv.Type) {
+			c.report(call.Pos(), "conversion boxes %s into interface %s", types.ExprString(call.Args[0]), tv.Type)
+		}
+		return
+	}
+	// Concrete argument passed where an interface parameter is expected.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through whole, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && boxes(info, arg, pt) {
+			c.report(arg.Pos(), "argument %s boxes into interface %s", types.ExprString(arg), pt)
+		}
+	}
+}
+
+// checkAppend allows the two amortized-zero idioms and flags the rest.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if _, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+		return // append(buf[:0], ...): recycles an existing buffer
+	}
+	if as, ok := c.assignOf[call]; ok {
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call && i < len(as.Lhs) &&
+				types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				return // buf = append(buf, ...): amortized growth of a retained buffer
+			}
+		}
+	}
+	c.report(call.Pos(), "append may grow an unpreallocated slice")
+}
+
+// checkCompositeLit flags literals whose backing store is heap-allocated.
+func (c *checker) checkCompositeLit(cl *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(cl.Pos(), "slice literal allocates its backing array")
+	case *types.Map:
+		c.report(cl.Pos(), "map literal allocates")
+	}
+}
+
+// checkAssign flags interface boxing on assignment.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := c.pass.TypesInfo.TypeOf(as.Lhs[i])
+		if lt != nil && isInterface(lt) && boxes(c.pass.TypesInfo, as.Rhs[i], lt) {
+			c.report(as.Rhs[i].Pos(), "assignment boxes %s into interface %s", types.ExprString(as.Rhs[i]), lt)
+		}
+	}
+}
+
+// checkValueSpec flags var declarations that box into interface types.
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	if vs.Type == nil || len(vs.Values) == 0 {
+		return
+	}
+	lt := c.pass.TypesInfo.TypeOf(vs.Type)
+	if lt == nil || !isInterface(lt) {
+		return
+	}
+	for _, v := range vs.Values {
+		if boxes(c.pass.TypesInfo, v, lt) {
+			c.report(v.Pos(), "declaration boxes %s into interface %s", types.ExprString(v), lt)
+		}
+	}
+}
+
+// checkReturn flags returns that box concrete values into interface
+// results.
+func (c *checker) checkReturn(rs *ast.ReturnStmt) {
+	if c.fn.Type.Results == nil {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range c.fn.Type.Results.List {
+		t := c.pass.TypesInfo.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(rs.Results) != len(resultTypes) {
+		return // bare return or call spread; nothing boxed directly here
+	}
+	for i, r := range rs.Results {
+		if resultTypes[i] != nil && isInterface(resultTypes[i]) && boxes(c.pass.TypesInfo, r, resultTypes[i]) {
+			c.report(r.Pos(), "return boxes %s into interface %s", types.ExprString(r), resultTypes[i])
+		}
+	}
+}
+
+// boxes reports whether assigning expr to an interface target heap-boxes a
+// concrete value: the expression's own type is neither an interface nor
+// untyped nil.
+func boxes(info *types.Info, expr ast.Expr, target types.Type) bool {
+	_ = target
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !isInterface(tv.Type)
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// condConsultsCap reports whether an if condition mentions the cap builtin
+// — the growth-guard idiom `if cap(buf) < need { buf = make(...) }`.
+func condConsultsCap(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "cap" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// builtinName resolves a call to a language builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// isPanic reports whether the call is the panic builtin.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	name, ok := builtinName(info, call)
+	return ok && name == "panic"
+}
+
+// calleeFunc resolves a call's target function object.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// callSignature returns the signature of a non-builtin call target.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}

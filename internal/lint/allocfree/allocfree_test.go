@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"sonar/internal/lint/allocfree"
+	"sonar/internal/lint/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "allocfixture")
+}

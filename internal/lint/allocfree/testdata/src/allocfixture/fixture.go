@@ -1,0 +1,60 @@
+// Package allocfixture exercises the //sonar:alloc-free contract checker.
+package allocfixture
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// Sink consumes a value through an interface parameter.
+func Sink(v interface{}) { _ = v }
+
+// Bad violates the contract through every construct the analyzer covers.
+//
+//sonar:alloc-free
+func Bad(buf []byte, n int) interface{} {
+	s := make([]byte, n) // want `make allocates outside a cap\(\.\.\.\) growth guard`
+	p := new(int)        // want `new allocates`
+	_ = p
+	grown := append(s, 1) // want `append may grow an unpreallocated slice`
+	_ = grown
+	_ = fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf allocates`
+	lit := []int{1, 2}       // want `slice literal allocates its backing array`
+	_ = lit
+	mp := map[int]int{} // want `map literal allocates`
+	_ = mp
+	pt := &point{1, 2} // want `address-taken composite literal escapes to the heap`
+	_ = pt
+	f := func() {} // want `function literal allocates a closure`
+	f()
+	Sink(n)                   // want `argument n boxes into interface`
+	var boxed interface{} = n // want `declaration boxes n into interface`
+	boxed = buf               // want `assignment boxes buf into interface`
+	_ = boxed
+	return n // want `return boxes n into interface`
+}
+
+// Good uses only the amortized-zero idioms; nothing may be flagged.
+//
+//sonar:alloc-free
+func Good(buf, src []byte, need int) []byte {
+	if cap(buf) < need {
+		buf = make([]byte, need) // growth guard: cold path
+	}
+	buf = append(buf[:0], src...)
+	buf = append(buf, 0)
+	var pt point
+	pt = point{1, 2} // value literal: a store, not an allocation
+	_ = pt
+	if need < 0 {
+		panic(fmt.Sprintf("bad need %d", need)) // panic argument: cold path
+	}
+	scratch := make([]byte, 8) //sonar:alloc-ok one-time scratch, waived for the test
+	_ = scratch
+	return buf
+}
+
+// Unannotated carries no contract; its allocations are not the analyzer's
+// business.
+func Unannotated() []int {
+	return []int{1, 2, 3}
+}

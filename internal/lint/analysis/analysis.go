@@ -1,0 +1,67 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function over one type-checked package (a Pass), reporting
+// Diagnostics.
+//
+// Sonar vendors no third-party modules, so the real x/tools framework is
+// unavailable; this package keeps the same shape (Analyzer, Pass,
+// Diagnostic, Reportf) so the repository's analyzers — and their tests —
+// would port to the upstream framework by changing only import paths. The
+// drivers live in package unitchecker (the go vet -vettool protocol and a
+// standalone ./... walker) and the fixture harness in package analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, a documentation string, and
+// a Run function applied to each package independently.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and driver flags. It must
+	// be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+	// Run applies the check to one package. The returned value is unused by
+	// Sonar's drivers (the upstream framework threads it to dependent
+	// analyzers) but kept for API fidelity.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass presents one type-checked package to an Analyzer's Run function and
+// collects its diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position within the Pass's FileSet and a
+// message. Message conventionally ends without a period.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Category optionally subdivides the analyzer's findings.
+	Category string
+	// Message is the human-readable finding text.
+	Message string
+}

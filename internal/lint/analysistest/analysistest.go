@@ -1,0 +1,186 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/; a fixture file marks
+// each line that must produce a diagnostic with a trailing comment of the
+// form
+//
+//	// want `regexp`              (or a double-quoted Go string)
+//	// want `re1` `re2`           (several diagnostics on one line)
+//
+// Every reported diagnostic must be matched by a want pattern on its line,
+// and every want pattern must match at least one diagnostic on its line;
+// anything else fails the test. Fixture packages are type-checked with the
+// same loader as the standalone driver, so standard-library imports work
+// offline and fixture import paths can mimic real Sonar packages (the
+// determinism analyzer scopes itself by import path).
+package analysistest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sonar/internal/lint/analysis"
+	"sonar/internal/lint/load"
+)
+
+// Run analyzes each fixture package under testdata/src and verifies the
+// diagnostics against the // want expectations in its files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(importPath))
+	fset := token.NewFileSet()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture package %s: %v", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture package %s has no Go files", importPath)
+	}
+
+	build.Default.CgoEnabled = false // std resolves offline via its pure-Go variants
+	info := load.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture package %s does not type-check: %v", importPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	check(t, fset, files, diags)
+}
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// check reconciles diagnostics with want expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> patterns
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		wants[name] = make(map[int][]*expectation)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, pat := range splitPatterns(rest) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", name, line, pat, err)
+					}
+					wants[name][line] = append(wants[name][line], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		exps := wants[pos.Filename][pos.Line]
+		matched := false
+		for _, e := range exps {
+			if e.rx.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for name, byLine := range wants { //sonar:nondeterministic-ok test-failure enumeration order does not affect pass/fail
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no diagnostic matched pattern %q", name, line, e.rx)
+				}
+			}
+		}
+	}
+}
+
+// splitPatterns parses the quoted or backquoted patterns of a want clause.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quoted string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(pats, s)
+			}
+			quoted = s[1 : 1+end]
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return append(pats, s)
+			}
+			if uq, err := strconv.Unquote(s[:end+2]); err == nil {
+				quoted = uq
+			} else {
+				quoted = rest[:end]
+			}
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return append(pats, s)
+		}
+		pats = append(pats, quoted)
+	}
+	return pats
+}

@@ -1,0 +1,181 @@
+// Package determinism implements the sonar-vet analyzer that keeps
+// wall-clock time, unseeded randomness, and unordered map iteration out of
+// the packages that feed Sonar's canonical outputs.
+//
+// Campaign event streams, checkpoints, and stats folds are contractually
+// byte-identical per (Seed, Workers, BatchSize) — the oracle every
+// determinism and resume test pins. The compiler cannot see that contract;
+// this analyzer enforces its three recurring failure modes at vet time:
+//
+//   - time.Now / time.Since / time.Until: wall-clock values must never
+//     reach canonical output;
+//   - top-level math/rand (and math/rand/v2) functions: draws from the
+//     global, unseeded source; campaign randomness must come from
+//     explicitly seeded *rand.Rand instances (per-worker RNGs);
+//   - range over a map: iteration order varies run to run; sort the keys
+//     first (or fold into an order-insensitive accumulator).
+//
+// Intentional nondeterminism — operator-facing elapsed-time displays,
+// order-insensitive folds — is waived line by line (or function by
+// function, via the doc comment) with //sonar:nondeterministic-ok <reason>;
+// the reason is mandatory.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sonar/internal/lint/analysis"
+	"sonar/internal/lint/directive"
+)
+
+// Analyzer flags nondeterministic constructs in canonical-output packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "sonardeterminism",
+	Doc:  "flags wall-clock reads, unseeded randomness, and map iteration in packages that feed canonical output",
+	Run:  run,
+}
+
+// okDirective is the escape-hatch directive name.
+const okDirective = "nondeterministic-ok"
+
+// canonicalPackages are the import paths (plus their subpackages) whose
+// outputs are canonical: event streams, checkpoints, netlist elaboration,
+// analysis results, and everything those fold over. Packages whose whole
+// point is wall-clock measurement (experiments, baseline) and the operator
+// CLIs are outside the contract.
+var canonicalPackages = []string{
+	"sonar/internal/boom",
+	"sonar/internal/core",
+	"sonar/internal/detect",
+	"sonar/internal/firrtl",
+	"sonar/internal/fuzz",
+	"sonar/internal/hdl",
+	"sonar/internal/isa",
+	"sonar/internal/monitor",
+	"sonar/internal/nutshell",
+	"sonar/internal/obs",
+	"sonar/internal/sim",
+	"sonar/internal/trace",
+	"sonar/internal/uarch",
+}
+
+// covered reports whether the package path is under the canonical set.
+func covered(path string) bool {
+	for _, p := range canonicalPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedTimeFuncs are the wall-clock reads.
+var bannedTimeFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// allowedRandFuncs are the top-level math/rand functions that construct
+// explicitly seeded generators rather than drawing from the global source.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !covered(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+// checkFile walks one file; a function whose doc comment carries the
+// waiver is skipped wholesale.
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	dirs := directive.ParseFile(pass.Fset, f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if _, waived := directive.FuncDirective(fd, okDirective); waived {
+				return false
+			}
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, dirs, n)
+		case *ast.RangeStmt:
+			checkRange(pass, dirs, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock and global-source randomness calls.
+func checkCall(pass *analysis.Pass, dirs *directive.Map, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	full := fn.Pkg().Path() + "." + fn.Name()
+	switch {
+	case bannedTimeFuncs[full]:
+		if !dirs.Allows(call.Pos(), okDirective) {
+			pass.Reportf(call.Pos(), "call to %s reads the wall clock in a canonical-output package; results must be byte-identical across runs (waive with //sonar:%s <reason>)", full, okDirective)
+		}
+	case (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") && isPackageLevel(fn) && !allowedRandFuncs[fn.Name()]:
+		if !dirs.Allows(call.Pos(), okDirective) {
+			pass.Reportf(call.Pos(), "call to %s draws from the global unseeded source; use an explicitly seeded *rand.Rand (waive with //sonar:%s <reason>)", full, okDirective)
+		}
+	}
+}
+
+// checkRange flags range statements over map-typed operands.
+func checkRange(pass *analysis.Pass, dirs *directive.Map, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if dirs.Allows(rs.Pos(), okDirective) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map has nondeterministic iteration order in a canonical-output package; iterate sorted keys (waive with //sonar:%s <reason>)", okDirective)
+}
+
+// calleeFunc resolves a call's target to its function object, or nil for
+// builtins, type conversions, and dynamic calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPackageLevel reports whether fn is a package-level function (no
+// receiver).
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

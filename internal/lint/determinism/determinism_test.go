@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"sonar/internal/lint/analysistest"
+	"sonar/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"sonar/internal/fuzz",        // canonical: every banned construct flagged
+		"sonar/internal/experiments", // out of scope: no diagnostics
+	)
+}

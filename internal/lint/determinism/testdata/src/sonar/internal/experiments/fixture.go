@@ -1,0 +1,20 @@
+// Package experiments is a negative fixture: its import path is outside
+// the canonical-output set, so nothing here may be flagged.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Unscoped uses every banned construct; the analyzer must stay silent.
+func Unscoped(m map[int]int64) int64 {
+	start := time.Now()
+	_ = time.Since(start)
+	_ = rand.Intn(4)
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

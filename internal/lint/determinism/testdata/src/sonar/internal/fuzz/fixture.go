@@ -1,0 +1,57 @@
+// Package fuzz is a determinism fixture mimicking a canonical-output
+// package: its import path puts it under the analyzer's scope.
+package fuzz
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Banned exercises every construct the analyzer must flag.
+func Banned(m map[int]int64) int64 {
+	t := time.Now()   // want `call to time\.Now reads the wall clock`
+	_ = time.Since(t) // want `call to time\.Since reads the wall clock`
+	_ = time.Until(t) // want `call to time\.Until reads the wall clock`
+	_ = rand.Intn(4)  // want `call to math/rand\.Intn draws from the global unseeded source`
+	var sum int64
+	for _, v := range m { // want `range over map has nondeterministic iteration order`
+		sum += v
+	}
+	return sum
+}
+
+// Allowed exercises the constructs that must stay clean: seeded generator
+// construction, sorted-key iteration, and non-map ranges.
+func Allowed(m map[int]int64) int64 {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng.Intn(4)
+	keys := make([]int, 0, len(m))
+	for k := range m { //sonar:nondeterministic-ok keys collected then sorted
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum int64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// LineWaiver checks the same-line and line-above escape hatches.
+func LineWaiver() time.Time {
+	//sonar:nondeterministic-ok operator-facing display only
+	a := time.Now()
+	b := time.Now() //sonar:nondeterministic-ok operator-facing display only
+	_ = b
+	return a
+}
+
+// FuncWaiver is exempt wholesale through its doc-comment directive.
+//
+//sonar:nondeterministic-ok wall-clock measurement is this helper's purpose
+func FuncWaiver(m map[int]bool) time.Time {
+	for range m {
+	}
+	return time.Now()
+}

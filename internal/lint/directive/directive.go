@@ -1,0 +1,98 @@
+// Package directive parses Sonar's //sonar: source annotations, the
+// contract markers and escape hatches consumed by the sonar-vet analyzers
+// (docs/STATIC_ANALYSIS.md):
+//
+//	//sonar:alloc-free                     function contract: no steady-state heap allocation
+//	//sonar:alloc-ok <reason>              line escape hatch inside an alloc-free function
+//	//sonar:nondeterministic-ok <reason>   line or function escape hatch for the determinism analyzer
+//
+// A line-level directive applies to constructs on its own line (trailing
+// comment) or on the line immediately below (preceding comment line). A
+// function-level directive lives in the function's doc comment and covers
+// the whole body. Escape hatches should carry a reason; the analyzers flag
+// bare ones so the "why" survives review.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment prefix introducing a Sonar directive.
+const Prefix = "//sonar:"
+
+// Directive is one parsed //sonar: annotation.
+type Directive struct {
+	// Name is the directive name ("alloc-free", "alloc-ok",
+	// "nondeterministic-ok").
+	Name string
+	// Reason is the free text after the name, if any.
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// Map indexes the directives of one file by line number.
+type Map struct {
+	fset   *token.FileSet
+	byLine map[int][]Directive
+}
+
+// ParseFile collects every //sonar: directive in the file.
+func ParseFile(fset *token.FileSet, f *ast.File) *Map {
+	m := &Map{fset: fset, byLine: make(map[int][]Directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parse(c)
+			if !ok {
+				continue
+			}
+			m.byLine[fset.Position(c.Pos()).Line] = append(m.byLine[fset.Position(c.Pos()).Line], d)
+		}
+	}
+	return m
+}
+
+// parse decodes one comment as a directive.
+func parse(c *ast.Comment) (Directive, bool) {
+	rest, ok := strings.CutPrefix(c.Text, Prefix)
+	if !ok {
+		return Directive{}, false
+	}
+	name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// Allows reports whether a directive with the given name covers the node
+// position: on the same line, or alone on the line above.
+func (m *Map) Allows(pos token.Pos, name string) bool {
+	line := m.fset.Position(pos).Line
+	for _, d := range m.byLine[line] {
+		if d.Name == name {
+			return true
+		}
+	}
+	for _, d := range m.byLine[line-1] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective returns the named directive from a function's doc comment.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parse(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

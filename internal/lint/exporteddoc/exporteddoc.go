@@ -1,0 +1,182 @@
+// Package exporteddoc implements the sonar-vet analyzer that enforces the
+// repository's documentation floor, replacing the retired standalone
+// cmd/sonar-doclint binary:
+//
+//   - every internal package must carry a godoc package comment starting
+//     with "Package <name>";
+//   - every main package (cmd/, examples/) must carry a package comment —
+//     the command or example synopsis;
+//   - within internal packages, every exported identifier — functions,
+//     methods on exported receiver types, types, consts, vars, and struct
+//     fields — must carry a doc comment. Unexported receivers are skipped
+//     (their exported methods are usually interface plumbing); const/var
+//     specs accept the declaration group's comment or a trailing line
+//     comment.
+//
+// Where sonar-doclint covered exported identifiers only in internal/fuzz
+// and internal/obs, this analyzer holds every internal package to the same
+// floor. Test files are exempt.
+package exporteddoc
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"sonar/internal/lint/analysis"
+)
+
+// Analyzer enforces package and exported-identifier documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "sonarexporteddoc",
+	Doc:  "enforces package comments and the exported-identifier documentation floor of internal packages",
+	Run:  run,
+}
+
+// internalPkg reports whether the import path is under an internal/ tree.
+func internalPkg(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Split off test files; the floor applies to the shipped surface.
+	var files []*ast.File
+	allTest := true
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		allTest = false
+		files = append(files, f)
+	}
+	if allTest {
+		return nil, nil // external test packages and test variants carry no floor of their own
+	}
+
+	name := pass.Pkg.Name()
+	internal := internalPkg(pass.Pkg.Path())
+	if internal || name == "main" {
+		checkPackageDoc(pass, files, name, internal)
+	}
+	if internal {
+		for _, f := range files {
+			checkFileIdentifiers(pass, f)
+		}
+	}
+	return nil, nil
+}
+
+// checkPackageDoc requires a package comment on at least one file; strict
+// (internal) packages additionally need the canonical "Package <name>"
+// opening.
+func checkPackageDoc(pass *analysis.Pass, files []*ast.File, name string, strict bool) {
+	doc := ""
+	for _, f := range files {
+		if f.Doc != nil {
+			if t := strings.TrimSpace(f.Doc.Text()); len(t) > len(doc) {
+				doc = t
+			}
+		}
+	}
+	switch {
+	case doc == "":
+		// Anchor the diagnostic on the lexically first file for a stable
+		// position.
+		sorted := append([]*ast.File(nil), files...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return pass.Fset.Position(sorted[i].Pos()).Filename < pass.Fset.Position(sorted[j].Pos()).Filename
+		})
+		pass.Reportf(sorted[0].Name.Pos(), "package %s has no package comment", name)
+	case strict && !strings.HasPrefix(doc, "Package "+name):
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) == doc {
+				pass.Reportf(f.Doc.Pos(), "package comment must start with %q", "Package "+name)
+				return
+			}
+		}
+	}
+}
+
+// checkFileIdentifiers applies the exported-identifier floor to one file.
+func checkFileIdentifiers(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv, exported := receiverName(d.Recv)
+				if !exported {
+					continue
+				}
+				pass.Reportf(d.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+			} else {
+				pass.Reportf(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			checkGenDecl(pass, d)
+		}
+	}
+}
+
+// checkGenDecl checks the exported types, consts, vars, and struct fields
+// of one declaration group.
+func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil {
+				pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				for _, field := range st.Fields.List {
+					if field.Doc != nil || field.Comment != nil {
+						continue
+					}
+					for _, n := range field.Names {
+						if n.IsExported() {
+							pass.Reportf(field.Pos(), "exported field %s.%s has no doc comment", s.Name.Name, n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			kind := "var"
+			if d.Tok.String() == "const" {
+				kind = "const"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					pass.Reportf(s.Pos(), "exported %s %s has no doc comment", kind, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's type name and whether it is
+// exported.
+func receiverName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, id.IsExported()
+}

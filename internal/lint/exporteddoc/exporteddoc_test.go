@@ -1,0 +1,105 @@
+package exporteddoc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"sonar/internal/lint/analysis"
+	"sonar/internal/lint/analysistest"
+	"sonar/internal/lint/exporteddoc"
+	"sonar/internal/lint/load"
+)
+
+func TestExportedDoc(t *testing.T) {
+	analysistest.Run(t, "testdata", exporteddoc.Analyzer,
+		"sonar/internal/docfixture", // functions, methods, types
+		"sonar/internal/nopkgdoc",   // missing package comment
+		"sonar/internal/wrongdoc",   // wrong package-comment opening
+		"sonar/cmd/nodoccmd",        // main packages need a comment too
+	)
+}
+
+// TestFieldAndValueSpecs covers the trailing-comment acceptance rule, which
+// cannot ride through want-comment fixtures: a trailing // want comment on a
+// field or value spec would itself count as its documentation.
+func TestFieldAndValueSpecs(t *testing.T) {
+	const src = `// Package fields is an inline fixture.
+package fields
+
+// Geared is documented.
+type Geared struct {
+	Teeth int
+	Pitch float64 // documented by a trailing comment
+	// Depth carries a doc comment.
+	Depth int
+	inner int
+}
+
+const Loose = 1
+
+const Snug = 2 // documented by a trailing comment
+
+// Tight is documented.
+const Tight = 3
+`
+	diags := analyzeSrc(t, "sonar/internal/fields", src)
+	wantSubstrings := []string{
+		"exported field Geared.Teeth has no doc comment",
+		"exported const Loose has no doc comment",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic %q in %v", want, messages(diags))
+		}
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(wantSubstrings), messages(diags))
+	}
+}
+
+// analyzeSrc runs the analyzer over one in-memory file.
+func analyzeSrc(t *testing.T, importPath, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  exporteddoc.Analyzer,
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := exporteddoc.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package docfixture exercises the exported-identifier documentation floor.
+package docfixture
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {} // want `exported function Undocumented has no doc comment`
+
+// Widget is documented.
+type Widget struct{}
+
+// Turn is documented.
+func (Widget) Turn() {}
+
+func (Widget) Spin() {} // want `exported method Widget.Spin has no doc comment`
+
+type gear struct{}
+
+// Mesh is exported but hangs off an unexported receiver: skipped.
+func (gear) Mesh() {}
+
+type Sprocket int // want `exported type Sprocket has no doc comment`
+
+// Grouped docs satisfy every spec in the group.
+const (
+	TeethMin = 4
+	TeethMax = 64
+)
+
+// unexported identifiers carry no floor.
+var internalCount int
+
+func helper() {} // unexported: skipped
+
+var _ = internalCount
+var _ = helper
+var _ = gear{}

@@ -1,0 +1,1 @@
+package nopkgdoc // want `package nopkgdoc has no package comment`

@@ -1,0 +1,2 @@
+// want `package comment must start with "Package wrongdoc"`
+package wrongdoc

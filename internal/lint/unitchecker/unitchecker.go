@@ -1,0 +1,322 @@
+// Package unitchecker drives sonar-vet's analyzers in the two modes the
+// repository uses, mirroring golang.org/x/tools/go/analysis/unitchecker
+// with the standard library only:
+//
+//   - vet-tool mode: invoked by `go vet -vettool=sonar-vet ./...`, the
+//     driver speaks cmd/go's unit-checking protocol — answer -V=full with
+//     a content-hashed version line (the build cache keys on it), describe
+//     flags as JSON on -flags, and otherwise accept a single *.cfg file
+//     naming one package's sources and the export data of its
+//     dependencies, analyze that package, and write the (empty) facts file
+//     cmd/go expects;
+//   - standalone mode: `sonar-vet ./...` loads the module's packages from
+//     source (package load) and analyzes them in one process, needing no
+//     go command around it.
+//
+// Diagnostics go to stderr as file:line:col: message; the exit status is 0
+// when clean, 2 when diagnostics were reported, 1 on driver errors.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sonar/internal/lint/analysis"
+	"sonar/internal/lint/load"
+)
+
+// Main is the entry point shared by cmd/sonar-vet: it dispatches between
+// the vet-tool protocol and standalone package loading, runs the analyzers,
+// and exits with the driver status.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, firstLine(a.Doc))
+	}
+	version := flag.String("V", "", "print version information and exit (cmd/go protocol: -V=full)")
+	describe := flag.Bool("flags", false, "print the analyzer flags as JSON and exit (cmd/go protocol)")
+	flag.Parse()
+
+	if *version != "" {
+		printVersion(progname)
+		return
+	}
+	if *describe {
+		printFlags()
+		return
+	}
+
+	// Honor explicit -<analyzer> selections; default to all.
+	selected := analyzers
+	if anySelected(enabled) {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], selected))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, selected))
+}
+
+// firstLine returns the summary line of an analyzer doc string.
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}
+
+// anySelected reports whether at least one analyzer flag was set.
+func anySelected(enabled map[string]*bool) bool {
+	for _, b := range enabled {
+		if *b {
+			return true
+		}
+	}
+	return false
+}
+
+// printVersion answers -V=full in the format cmd/go's build cache keys on:
+// a single line containing the program name and a content hash of the
+// executable, so rebuilding the tool invalidates cached vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlags answers -flags: cmd/go parses this JSON to learn which flags
+// it may forward to the tool.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// config is the JSON unit-checking configuration cmd/go hands the tool,
+// describing one package and the export data of its dependencies.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single package described by a cfg file.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("cannot decode JSON config file %s: %v", cfgFile, err)
+		return 1
+	}
+
+	// The facts file must exist for cmd/go to cache the result; Sonar's
+	// analyzers exchange no facts, so it is empty.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Print(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			log.Print(err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the export data files cmd/go compiled.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		log.Printf("typecheck %s: %v", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	writeVetx()
+	return printDiagnostics(fset, diags, "")
+}
+
+// runStandalone loads packages from source and analyzes them in-process.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	root := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			log.Printf("no go.mod found above %s", cwd)
+			return 1
+		}
+		root = parent
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			log.Printf("%s: type errors (analysis may be incomplete): %v", p.ImportPath, p.TypeErrors[0])
+		}
+		if p.Pkg == nil {
+			continue
+		}
+		diags = append(diags, runAnalyzers(analyzers, p.Fset, p.Files, p.Pkg, p.TypesInfo)...)
+	}
+	return printDiagnostics(loader.Fset(), diags, cwd)
+}
+
+// runAnalyzers applies every analyzer to one package, collecting
+// diagnostics.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Printf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags
+}
+
+// printDiagnostics writes findings to stderr in file:line:col order,
+// relativizing paths against base when given, and returns the exit status.
+func printDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic, base string) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", name, pos.Line, pos.Column, d.Message)
+	}
+	return 2
+}

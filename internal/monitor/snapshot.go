@@ -38,7 +38,7 @@ const NoInterval int64 = math.MaxInt64
 
 // Snapshot is the full record of one instrumented execution.
 type Snapshot struct {
-	Points []PointSnapshot
+	Points []PointSnapshot // per-point state, indexed by monitor order
 }
 
 // Snapshot captures the current collected state of all points. The result
@@ -56,6 +56,8 @@ func (m *Monitor) Snapshot() *Snapshot {
 // steady-state Execute path heap-quiet. The previous contents of s are
 // overwritten; callers own the aliasing (a recycled snapshot must no longer
 // be read by anyone else).
+//
+//sonar:alloc-free
 func (m *Monitor) SnapshotInto(s *Snapshot) {
 	if cap(s.Points) < len(m.states) {
 		s.Points = make([]PointSnapshot, len(m.states))
@@ -109,7 +111,7 @@ func (s *Snapshot) MinIntervals() map[int]int64 {
 // best-interval metrics consume this view.
 func MergeMinIntervals(a, b *Snapshot) map[int]int64 {
 	m := a.MinIntervals()
-	for id, v := range b.MinIntervals() {
+	for id, v := range b.MinIntervals() { //sonar:nondeterministic-ok min-fold is order-insensitive
 		if old, ok := m[id]; !ok || v < old {
 			m[id] = v
 		}

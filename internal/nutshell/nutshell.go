@@ -8,7 +8,10 @@
 // stays below 2%.
 package nutshell
 
-import "sonar/internal/uarch"
+import (
+	"sonar/internal/hdl/check"
+	"sonar/internal/uarch"
+)
 
 // Arrays returns the structural array layout of the NutShell-like netlist.
 // NutShell's RTL favours wider selection trees over BOOM's (its naive 2:1
@@ -60,4 +63,13 @@ func New() *uarch.SoC {
 // structural arrays: same timing behaviour, far smaller netlist.
 func NewLite() *uarch.SoC {
 	return uarch.NewSoC(uarch.NutshellConfig(), 1, nil, nil)
+}
+
+// Check elaborates the SoC and structurally verifies its netlist (package
+// check, externally-driven profile: the model pokes wires from Go code, so
+// driver-coverage findings are informational). A non-nil error means the
+// elaboration itself is broken — combinational cycle, double driver, or
+// dense-id violation.
+func Check() error {
+	return check.Check(New().Net, check.Options{ExternallyDriven: true}).Err()
 }

@@ -236,7 +236,7 @@ func NewProgressSink(w io.Writer, every int) Sink {
 func (p *progressSink) Emit(e Event) {
 	switch e.Kind {
 	case CampaignStart:
-		p.start = time.Now()
+		p.start = time.Now() //sonar:nondeterministic-ok progress display timing, not part of the event stream
 		p.total = e.Iterations
 		fmt.Fprintf(p.w, "campaign %s: %d iterations, %d worker(s), batch %d, seed %d\n",
 			e.DUT, e.Iterations, e.Workers, e.BatchSize, e.Seed)
@@ -254,7 +254,7 @@ func (p *progressSink) Emit(e Event) {
 }
 
 func (p *progressSink) rate(iters int) float64 {
-	el := time.Since(p.start).Seconds()
+	el := time.Since(p.start).Seconds() //sonar:nondeterministic-ok progress display timing, not part of the event stream
 	if p.start.IsZero() || el <= 0 {
 		return 0
 	}

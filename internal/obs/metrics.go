@@ -248,7 +248,7 @@ func (m *Metrics) GaugeVec(name, help, label string) *GaugeVec {
 func (m *Metrics) ExpositionText() string {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.families))
-	for name := range m.families {
+	for name := range m.families { //sonar:nondeterministic-ok keys collected then sorted
 		names = append(names, name)
 	}
 	fams := make([]*family, 0, len(names))
@@ -301,7 +301,7 @@ func (f *family) expose(b *strings.Builder) {
 
 func sortedKeysC(m map[string]*Counter) []string {
 	ks := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //sonar:nondeterministic-ok keys collected then sorted
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)
@@ -310,7 +310,7 @@ func sortedKeysC(m map[string]*Counter) []string {
 
 func sortedKeysG(m map[string]*Gauge) []string {
 	ks := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //sonar:nondeterministic-ok keys collected then sorted
 		ks = append(ks, k)
 	}
 	sort.Strings(ks)

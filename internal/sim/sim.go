@@ -203,6 +203,8 @@ func (s *Simulator) Netlist() *hdl.Netlist { return s.net }
 // reads always see the latched value — not the value staged this cycle —
 // because staged values live in next until Tick copies them back through
 // Signal.Set.
+//
+//sonar:alloc-free
 func (s *Simulator) Eval() {
 	vals := s.net.Values()
 	for i := range s.order {

@@ -51,6 +51,11 @@ type Point struct {
 	Requests []Request
 	// Selects are the select signals of all MUXes in the tree.
 	Selects []*hdl.Signal
+	// ConstSelects are the tree's MUXes whose select is a literal constant:
+	// those selections never switch, so the sub-tree behind the dead branch
+	// can never contend. The structural netlist verifier (hdl/check) reports
+	// the same muxes as const-select findings.
+	ConstSelects []*hdl.Mux
 	// Component is the top-level module segment owning the point, used for
 	// distribution reports (paper Figure 7).
 	Component string
@@ -159,6 +164,9 @@ func Analyze(n *hdl.Netlist) *Analysis {
 func collect(n *hdl.Netlist, m *hdl.Mux, p *Point, v *validity) {
 	p.Muxes = append(p.Muxes, m)
 	p.Selects = append(p.Selects, m.Sel)
+	if m.Sel.IsConst() {
+		p.ConstSelects = append(p.ConstSelects, m)
+	}
 	for _, in := range []*hdl.Signal{m.TVal, m.FVal} {
 		if child, ok := n.Driver(in); ok {
 			collect(n, child, p, v)
@@ -208,6 +216,12 @@ func (a *Analysis) Rebind(n *hdl.Netlist) *Analysis {
 		}
 		for j, m := range p.Muxes {
 			q.Muxes[j] = n.MuxByID(m.ID())
+		}
+		if len(p.ConstSelects) > 0 {
+			q.ConstSelects = make([]*hdl.Mux, len(p.ConstSelects))
+			for j, m := range p.ConstSelects {
+				q.ConstSelects[j] = n.MuxByID(m.ID())
+			}
 		}
 		for j, s := range p.Selects {
 			q.Selects[j] = sig(s)

@@ -130,18 +130,18 @@ type Cache struct {
 
 // CacheParams configures NewCache.
 type CacheParams struct {
-	Name        string
-	Sets, Ways  int
-	HitLatency  int
-	L2Latency   int
-	Bus         *DChannel
-	ReadSrc     int
-	WBSrc       int
-	NumMSHRs    int
-	LineBuffers bool
-	SinglePort  bool
-	Ports       int // number of access ports to elaborate (>= 2 for a point)
-	Banks       int // data-array banks (0 disables banked points)
+	Name        string    // component name used for signal prefixes
+	Sets, Ways  int       // geometry: number of sets and ways
+	HitLatency  int       // cycles for a hit to return data
+	L2Latency   int       // cycles for a miss to refill from L2
+	Bus         *DChannel // shared D-channel misses and writebacks ride on
+	ReadSrc     int       // D-channel source id for refill reads
+	WBSrc       int       // D-channel source id for writebacks
+	NumMSHRs    int       // miss-status holding registers (0 = blocking)
+	LineBuffers bool      // elaborate line-fill buffer contention points
+	SinglePort  bool      // single-ported data array (port contention)
+	Ports       int       // number of access ports to elaborate (>= 2 for a point)
+	Banks       int       // data-array banks (0 disables banked points)
 }
 
 // NewCache elaborates a cache under mod and returns its model.

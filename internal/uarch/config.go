@@ -25,7 +25,7 @@ type Config struct {
 	ROBEntries int
 	// LDQEntries and STQEntries bound in-flight loads and stores.
 	LDQEntries int
-	STQEntries int
+	STQEntries int // store queue capacity
 	// NumALUs is the number of single-cycle integer units.
 	NumALUs int
 	// PipelinedMul selects a dedicated pipelined multiplier (BOOM). When
@@ -37,7 +37,7 @@ type Config struct {
 	// DivLatencyBase and DivLatencyPerBit give the iterative divider
 	// latency: base + bits(dividend) cycles.
 	DivLatencyBase   int
-	DivLatencyPerBit int
+	DivLatencyPerBit int // divider cycles added per dividend bit
 	// SharedWBPort enables the shared execution-unit response port between
 	// the last ALU, the multiplier, and the divider, with ALU priority
 	// (side channel S8).
@@ -46,9 +46,9 @@ type Config struct {
 	// ICacheSets/Ways and DCacheSets/Ways size the L1 caches; lines are 64
 	// bytes.
 	ICacheSets int
-	ICacheWays int
-	DCacheSets int
-	DCacheWays int
+	ICacheWays int // L1 ICache associativity
+	DCacheSets int // L1 DCache set count
+	DCacheWays int // L1 DCache associativity
 	// CacheHitLatency is the L1 hit latency in cycles.
 	CacheHitLatency int
 	// NumMSHRs is the number of L1 DCache miss-status holding registers

@@ -68,11 +68,11 @@ type fetchedInstr struct {
 // Bulk bundles the structural arrays a core drives from pipeline activity.
 // Any field may be nil.
 type Bulk struct {
-	ROB      *BulkArray
-	FetchBuf *BulkArray
-	IssueQ   *BulkArray
-	RegFile  *BulkArray
-	BTB      *BulkArray
+	ROB      *BulkArray // reorder buffer occupancy
+	FetchBuf *BulkArray // fetch buffer occupancy
+	IssueQ   *BulkArray // issue queue occupancy
+	RegFile  *BulkArray // physical register file write ports
+	BTB      *BulkArray // branch target buffer update ports
 }
 
 // Core is the cycle-accurate out-of-order core engine. It fetches through
@@ -82,15 +82,15 @@ type Bulk struct {
 // detection (NutShell, Config.EarlyExceptionDetect), which controls the
 // transient window Meltdown-style templates rely on (§7.3, §8.5).
 type Core struct {
-	Cfg    Config
-	ID     int
+	Cfg    Config // elaboration-time configuration, immutable after NewCore
+	ID     int    // core index within the SoC
 	net    *hdl.Netlist
 	pulser *Pulser
 	mem    *Memory
 	bus    *DChannel
-	ICache *Cache
-	DCache *Cache
-	Exec   *ExecUnits
+	ICache *Cache     // private L1 instruction cache
+	DCache *Cache     // private L1 data cache
+	Exec   *ExecUnits // shared or private execution units
 	bulk   Bulk
 
 	prog        *isa.Program
@@ -136,15 +136,15 @@ type Core struct {
 
 // CoreParams bundles the shared SoC pieces a core plugs into.
 type CoreParams struct {
-	ID     int
-	Net    *hdl.Netlist
-	Pulser *Pulser
-	Mem    *Memory
-	Bus    *DChannel
-	ICache *Cache
-	DCache *Cache
-	Exec   *ExecUnits
-	Bulk   Bulk
+	ID     int          // core index within the SoC
+	Net    *hdl.Netlist // netlist the core's signals live in
+	Pulser *Pulser      // contention pulser shared across cores
+	Mem    *Memory      // backing memory model
+	Bus    *DChannel    // shared TileLink D-channel
+	ICache *Cache       // this core's L1 instruction cache
+	DCache *Cache       // this core's L1 data cache
+	Exec   *ExecUnits   // execution units (shared when SMT)
+	Bulk   Bulk         // structural arrays driven by this core
 }
 
 // NewCore assembles a core from its parts.

@@ -83,7 +83,7 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 // are zeroed in place and kept resident, so re-running a similarly shaped
 // program touches no new memory.
 func (m *Memory) Reset() {
-	for _, p := range m.pages {
+	for _, p := range m.pages { //sonar:nondeterministic-ok page zeroing is order-insensitive
 		clear(p)
 	}
 }

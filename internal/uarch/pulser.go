@@ -78,7 +78,7 @@ func fire(pl pulse) {
 // Reset drops all scheduled pulses and rewinds the drain clock. The map and
 // the dropped slices are kept for reuse.
 func (p *Pulser) Reset() {
-	for c, lst := range p.pending {
+	for c, lst := range p.pending { //sonar:nondeterministic-ok buffer recycling; free-list order has no semantic effect
 		p.free = append(p.free, lst[:0])
 		delete(p.pending, c)
 	}

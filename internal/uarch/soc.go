@@ -38,20 +38,20 @@ type ArraySpec struct {
 // FilterSpec describes per-component points that the §5.2 risk filter will
 // drop: constant-request points and no-valid points.
 type FilterSpec struct {
-	Component string
-	Const     int
-	NoValid   int
-	Fanin     int
+	Component string // component the counts belong to
+	Const     int    // points dropped for constant request signals
+	NoValid   int    // points dropped for having no valid request
+	Fanin     int    // points dropped by the fan-in heuristic
 }
 
 // SoC is a one- or two-core system sharing memory, the L2, and the TileLink
 // D-channel. It owns the netlist and the per-cycle run loop.
 type SoC struct {
-	Net    *hdl.Netlist
-	Pulser *Pulser
-	Mem    *Memory
-	Bus    *DChannel
-	Cores  []*Core
+	Net    *hdl.Netlist // the elaborated netlist
+	Pulser *Pulser      // contention pulser driving shared resources
+	Mem    *Memory      // shared backing memory and L2 model
+	Bus    *DChannel    // shared TileLink D-channel
+	Cores  []*Core      // the cores, indexed by Core.ID
 
 	cycle int64
 }

@@ -34,11 +34,11 @@ type DChannel struct {
 
 // Transfer is one recorded D-channel transaction.
 type Transfer struct {
-	Source      string
-	At          int64 // request arrival
-	Grant       int64 // transfer start
-	Done        int64 // transfer completion
-	IsWriteback bool
+	Source      string // requesting port's source name
+	At          int64  // request arrival
+	Grant       int64  // transfer start
+	Done        int64  // transfer completion
+	IsWriteback bool   // writeback (put) rather than refill read
 }
 
 // NewDChannel elaborates the D-channel arbiter under mod with one request
