@@ -154,6 +154,15 @@ type campaignResult struct {
 	AllocsPerIter float64 `json:"allocs_per_iter"`
 	// CyclesPerSec is simulated DUT cycles per wall-clock second.
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Cores is the effective parallelism of the measuring process
+	// (GOMAXPROCS), recorded so the benchguard scaling gate can cap its
+	// expectations at what the runner can physically deliver.
+	Cores int `json:"cores"`
+	// ScalingVsParallel1 is this entry's iters_per_sec over the same run's
+	// CampaignParallel1 — the parallel-scaling ratio the benchguard
+	// efficiency floor checks. Zero when CampaignParallel1 was not measured
+	// in the same run.
+	ScalingVsParallel1 float64 `json:"scaling_vs_parallel1"`
 }
 
 var (
@@ -176,6 +185,16 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	campaignResultsMu.Lock()
 	defer campaignResultsMu.Unlock()
+	// Parallel-scaling ratios: each CampaignParallelN entry records its
+	// throughput relative to CampaignParallel1 from the same run.
+	if base, ok := campaignResults["CampaignParallel1"]; ok && base.ItersPerSec > 0 {
+		for name, r := range campaignResults {
+			if strings.HasPrefix(name, "CampaignParallel") {
+				r.ScalingVsParallel1 = r.ItersPerSec / base.ItersPerSec
+				campaignResults[name] = r
+			}
+		}
+	}
 	if len(campaignResults) > 0 {
 		data, err := json.MarshalIndent(campaignResults, "", "  ")
 		if err == nil {
@@ -212,6 +231,7 @@ func recordCampaign(b *testing.B, name string, run func() int64) {
 		NsPerIter:     b.Elapsed().Seconds() * 1e9 / iters,
 		AllocsPerIter: float64(ms.Mallocs-allocs0) / iters,
 		CyclesPerSec:  float64(cycles) / secs,
+		Cores:         runtime.GOMAXPROCS(0),
 	}
 	b.ReportMetric(r.ItersPerSec, "iters/sec")
 	b.ReportMetric(r.CyclesPerSec, "cycles/sec")

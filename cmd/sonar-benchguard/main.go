@@ -3,13 +3,24 @@
 // -bench=Campaign) against the committed BENCH_baseline.json and fails on
 // gross regressions.
 //
-// The committed baseline is deliberately conservative — roughly a quarter of
-// the throughput measured on a development machine — and the comparison adds
-// a further -factor (default 2x) margin on top, so the gate only trips on
+// The committed baseline is deliberately conservative — well below the
+// throughput measured on a development machine — and the comparison adds a
+// further -factor (default 2x) margin on top, so the gate only trips on
 // order-of-magnitude regressions (an accidentally quadratic hot path, a
 // reintroduced per-iteration allocation storm), never on runner jitter.
 // Throughput must not fall below baseline/factor; allocations per iteration
 // must not exceed baseline*factor.
+//
+// The gate also enforces parallel-scaling efficiency: every
+// CampaignParallelN entry in the current file records its throughput ratio
+// over CampaignParallel1 (scaling_vs_parallel1) and the runner's effective
+// core count (cores). N-worker throughput must reach at least
+// -scaling-efficiency × min(N, cores) × the 1-worker throughput, so a
+// regression back to flat scaling — the coordinator merge barrier
+// serializing the whole campaign — fails CI even when absolute throughput
+// stays above the floor. Entries measured on a single-core runner (or
+// files from before cores was recorded) skip the check: there is no
+// parallelism to lose.
 //
 // Usage:
 //
@@ -27,6 +38,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -61,6 +73,65 @@ func load(path string) map[string]row {
 	return m
 }
 
+// parallelWorkers extracts N from a CampaignParallelN entry name, or 0.
+func parallelWorkers(name string) int {
+	s, ok := strings.CutPrefix(name, "CampaignParallel")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// checkScaling enforces the parallel-scaling efficiency floor on the
+// current results (the baseline has no say: scaling is a property of the
+// run and its runner). It returns false on a violation.
+func checkScaling(cur map[string]row, efficiency float64) bool {
+	base, ok := cur["CampaignParallel1"]
+	if !ok || base["iters_per_sec"] == 0 {
+		fmt.Println("skip scaling: no CampaignParallel1 entry to scale against")
+		return true
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if parallelWorkers(name) > 1 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	ok = true
+	for _, name := range names {
+		c := cur[name]
+		workers := parallelWorkers(name)
+		cores := int(c["cores"])
+		expected := workers
+		if cores < expected {
+			expected = cores
+		}
+		if expected <= 1 {
+			fmt.Printf("skip %-20s scaling unmeasurable on this runner (%d core(s))\n", name, cores)
+			continue
+		}
+		ratio := c["scaling_vs_parallel1"]
+		if ratio == 0 {
+			ratio = c["iters_per_sec"] / base["iters_per_sec"]
+		}
+		floor := efficiency * float64(expected)
+		status := "ok  "
+		if ratio < floor {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%s %-20s %5.2fx vs Parallel1 (floor %.2fx = %.0f%% of min(%d workers, %d cores))\n",
+			status, name, ratio, floor, 100*efficiency, workers, cores)
+	}
+	return ok
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sonar-benchguard: ")
@@ -68,6 +139,7 @@ func main() {
 		current  = flag.String("current", "BENCH_campaign.json", "benchmark results to check")
 		baseline = flag.String("baseline", "BENCH_baseline.json", "committed baseline to check against")
 		factor   = flag.Float64("factor", 2, "allowed regression factor on top of the baseline margin")
+		scaleff  = flag.Float64("scaling-efficiency", 0.75, "required CampaignParallelN/CampaignParallel1 throughput ratio, as a fraction of min(N, cores)")
 	)
 	flag.Parse()
 	f := *factor
@@ -116,6 +188,9 @@ func main() {
 		}
 		fmt.Printf("%s %-20s %9.0f iters/sec (floor %.0f)  %7.1f allocs/iter (ceil %.0f)\n",
 			status, name, c["iters_per_sec"], b["iters_per_sec"]/f, c["allocs_per_iter"], b["allocs_per_iter"]*f)
+	}
+	if !checkScaling(cur, *scaleff) {
+		failed = true
 	}
 	if failed {
 		log.Fatal("performance regression detected (see docs/PERFORMANCE.md)")

@@ -197,6 +197,10 @@ type worker struct {
 	// newSeeds are the seeds retained since the last takeNewSeeds call —
 	// the delta the parallel coordinator re-offers to the global corpus.
 	newSeeds []*Seed
+	// mutOffered and mutAccepted batch the retention-decision metrics: the
+	// hot loop counts locally and flushMutationMetrics publishes one
+	// atomic update per batch instead of several per iteration.
+	mutOffered, mutAccepted int
 }
 
 func newWorker(d *DUT, opt Options, rng *rand.Rand) *worker {
@@ -294,27 +298,39 @@ func (w *worker) runOne() outcome {
 			dir = 1 - 2*w.rng.Intn(2)
 		}
 		s := w.corpus.Offer(tc, intvls, dir, target)
-		w.opt.Observer.MutationOffered(s != nil)
+		w.mutOffered++
 		if s != nil {
+			w.mutAccepted++
 			w.newSeeds = append(w.newSeeds, s)
 		}
 	}
 	return out
 }
 
-// runBatch executes n iterations of merge round `round` and returns their
-// outcomes in order. The FaultHook seam fires before each iteration, from
-// this (worker) goroutine — a scheduled panic or stall therefore surfaces
-// exactly where a real worker fault would.
-func (w *worker) runBatch(n, round int) []outcome {
-	outs := make([]outcome, n)
-	for i := range outs {
+// runBatch executes n iterations of merge round `round`, appending their
+// outcomes to dst in order (dst is the coordinator's recycled per-round
+// scratch; retries pass nil and allocate fresh). The FaultHook seam fires
+// before each iteration, from this (worker) goroutine — a scheduled panic
+// or stall therefore surfaces exactly where a real worker fault would.
+func (w *worker) runBatch(dst []outcome, n, round int) []outcome {
+	for i := 0; i < n; i++ {
 		if h := w.opt.FaultHook; h != nil {
 			h.BeforeIteration(w.id, round, i)
 		}
-		outs[i] = w.runOne()
+		dst = append(dst, w.runOne())
 	}
-	return outs
+	w.flushMutationMetrics()
+	return dst
+}
+
+// flushMutationMetrics publishes the batched retention-decision counters
+// and resets them. Metrics only; safe from the worker goroutine.
+func (w *worker) flushMutationMetrics() {
+	if w.mutOffered == 0 {
+		return
+	}
+	w.opt.Observer.MutationsOffered(w.mutOffered, w.mutAccepted)
+	w.mutOffered, w.mutAccepted = 0, 0
 }
 
 // takeNewSeeds returns the seeds retained since the previous call and
@@ -422,6 +438,15 @@ func (a *statsAccum) apply(o outcome) {
 	}
 }
 
+// applyAll folds one worker's round of outcomes in order — the batched
+// ingestion path of the parallel coordinator's fold goroutine, one call per
+// (worker, round) instead of an interleaved per-outcome fold.
+func (a *statsAccum) applyAll(outs []outcome) {
+	for i := range outs {
+		a.apply(outs[i])
+	}
+}
+
 // finish emits the campaign-closing event once the final Stats fields
 // (CorpusSize) are in place.
 func (a *statsAccum) finish() {
@@ -449,9 +474,19 @@ func (a *statsAccum) finish() {
 func Run(d *DUT, opt Options) *Stats {
 	w := newWorker(d, opt, rand.New(rand.NewSource(opt.Seed)))
 	acc := newStatsAccum(d, opt)
-	opt.Observer.CampaignStart(d.Analysis.Netlist.Name(), opt.Iterations, 1, 0, opt.Seed)
+	// campaign_start reports the same effective (post-clamp) worker count
+	// and batch size RunParallel(Workers=1) would, so the two engines'
+	// event streams agree on the campaign header (the "Workers<=1
+	// reproduces serial" contract extends to the stream; see
+	// TestSerialEventStreamMatchesWorkers1).
+	workers, batch := normalizeParallel(opt)
+	if workers != 1 {
+		workers = 1 // Run is the single-shard engine regardless of opt.Workers
+	}
+	opt.Observer.CampaignStart(d.Analysis.Netlist.Name(), opt.Iterations, workers, batch, opt.Seed)
 	for it := 0; it < opt.Iterations; it++ {
 		acc.apply(w.runOne())
+		w.flushMutationMetrics()
 	}
 	acc.st.CorpusSize = w.corpus.Len()
 	acc.finish()

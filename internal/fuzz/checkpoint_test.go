@@ -248,6 +248,42 @@ func TestResumeCompleteCheckpoint(t *testing.T) {
 	statsEqual(t, full, st)
 }
 
+// A checkpoint cut at a mid-pipeline round boundary — while the fold
+// goroutine may still be draining the round just merged — must capture the
+// exact barrier state: the coordinator drains the pipeline before
+// snapshotting, so the resumed campaign's Stats and event stream
+// byte-continue the uninterrupted run. Workers=8 with a tiny batch keeps
+// the double-buffered pipeline primed at every periodic checkpoint.
+func TestCheckpointMidPipelineRoundBoundary(t *testing.T) {
+	base := SonarOptions(96)
+	base.Workers = 8
+	base.BatchSize = 3
+
+	uopt, umem := observedOptions(base)
+	full := RunParallel(liteFactory, uopt)
+
+	popt, pmem := observedOptions(base)
+	popt.CheckpointEvery = 24 // one checkpoint per round, right behind the fold
+	_, cp := pausedCampaign(t, popt, 2)
+	if cp.Complete {
+		t.Fatal("pause checkpoint marked complete")
+	}
+	if cp.Done == 0 || cp.Done >= base.Iterations {
+		t.Fatalf("pause checkpoint at %d/%d iterations", cp.Done, base.Iterations)
+	}
+
+	ropt, rmem := observedOptions(cp.CampaignOptions())
+	resumed, err := Resume(liteFactory, ropt, cp)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	statsEqual(t, full, resumed)
+	concat := append(pmem.Bytes(), rmem.Bytes()...)
+	if !bytes.Equal(concat, umem.Bytes()) {
+		t.Error("mid-pipeline paused+resumed stream differs from the uninterrupted stream")
+	}
+}
+
 // Periodic checkpoints: with CheckpointEvery below the campaign length, a
 // mid-run pause must find a checkpoint no older than one merge round, and
 // resuming from the periodic (not forced) snapshot still reproduces the

@@ -26,6 +26,15 @@ type Corpus struct {
 	seeds []*Seed
 	// best tracks the global minimum interval per contention point.
 	best map[int]int64
+	// version counts mutations (accepted offers). The parallel coordinator
+	// compares versions across a merge round to decide whether workers need
+	// fresh views of the merged corpus at all — unchanged rounds skip
+	// distribution entirely.
+	version uint64
+	// frozen marks storage shared with copy-on-write views (see view): the
+	// next mutation must thaw (privately copy) the seed list and best map
+	// first. Behaviour is otherwise identical to an unfrozen corpus.
+	frozen bool
 }
 
 // NewCorpus creates an empty corpus.
@@ -42,13 +51,40 @@ func (c *Corpus) Len() int { return len(c.seeds) }
 // of a merged global corpus without synchronization.
 func (c *Corpus) Snapshot() *Corpus {
 	cp := &Corpus{
-		seeds: append([]*Seed(nil), c.seeds...),
-		best:  make(map[int]int64, len(c.best)),
+		seeds:   append([]*Seed(nil), c.seeds...),
+		best:    make(map[int]int64, len(c.best)),
+		version: c.version,
 	}
 	for id, v := range c.best { //sonar:nondeterministic-ok map-to-map copy is order-insensitive
 		cp.best[id] = v
 	}
 	return cp
+}
+
+// view freezes the corpus and returns a shallow copy-on-write alias sharing
+// its seed list and best-interval map. Views are how the parallel
+// coordinator distributes a merged corpus: O(1) per worker per round instead
+// of the old per-worker deep Snapshot, with the copy deferred to the first
+// mutation (thaw) on whichever side mutates first. Frozen storage is only
+// ever read, so lingering views — including those held by abandoned retry
+// goroutines — stay safe without synchronization.
+func (c *Corpus) view() *Corpus {
+	c.frozen = true
+	return &Corpus{seeds: c.seeds, best: c.best, version: c.version, frozen: true}
+}
+
+// thaw gives a frozen corpus private storage before its first mutation.
+func (c *Corpus) thaw() {
+	if !c.frozen {
+		return
+	}
+	c.seeds = append([]*Seed(nil), c.seeds...)
+	best := make(map[int]int64, len(c.best))
+	for id, v := range c.best { //sonar:nondeterministic-ok map-to-map copy is order-insensitive
+		best[id] = v
+	}
+	c.best = best
+	c.frozen = false
 }
 
 // Best returns the global minimum interval recorded for a point, or
@@ -63,18 +99,26 @@ func (c *Corpus) Best(point int) int64 {
 // Offer applies the retention rule: the testcase joins the corpus if it
 // reduced the minimum reqsIntvl at any contention point below the global
 // best (paper §6.2.1 ①). It returns the created seed, or nil if not
-// retained.
+// retained. The common rejecting path is read-only, so offering against a
+// frozen view costs nothing; the first accepted offer thaws.
 func (c *Corpus) Offer(tc *Testcase, intvls map[int]int64, dir int, target int) *Seed {
 	improved := false
-	for id, v := range intvls { //sonar:nondeterministic-ok min-fold is order-insensitive
+	for id, v := range intvls { //sonar:nondeterministic-ok read-only improvement probe; min-fold is order-insensitive
 		if old, ok := c.best[id]; !ok || v < old {
-			c.best[id] = v
 			improved = true
+			break
 		}
 	}
 	if !improved {
 		return nil
 	}
+	c.thaw()
+	for id, v := range intvls { //sonar:nondeterministic-ok min-fold is order-insensitive
+		if old, ok := c.best[id]; !ok || v < old {
+			c.best[id] = v
+		}
+	}
+	c.version++
 	s := &Seed{TC: tc, Intvls: intvls, Dir: dir, Target: target}
 	c.seeds = append(c.seeds, s)
 	return s

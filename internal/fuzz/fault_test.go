@@ -129,12 +129,28 @@ func TestPermanentFaultAbandonsShard(t *testing.T) {
 		t.Errorf("got %d batch_retried events for an abandoned shard, want 0", retries)
 	}
 	abandoned := false
+	wantAttempt := 1
 	for _, e := range mem.Events() {
-		if e.Kind == obs.WorkerFailed && strings.Contains(e.Reason, "abandoned") {
+		if e.Kind != obs.WorkerFailed {
+			continue
+		}
+		if strings.Contains(e.Reason, "abandoned") {
 			abandoned = true
 			if e.Worker != 1 {
 				t.Errorf("abandonment reported for worker %d, want 1", e.Worker)
 			}
+			// The abandonment is a disposition, not an attempt: it carries
+			// the distinct Attempt=0 marker so it can never duplicate a
+			// failed attempt's number.
+			if e.Attempt != 0 {
+				t.Errorf("abandonment event has attempt %d, want 0", e.Attempt)
+			}
+		} else {
+			// Real failed attempts are numbered 1..N in order.
+			if e.Attempt != wantAttempt {
+				t.Errorf("failed attempt numbered %d, want %d", e.Attempt, wantAttempt)
+			}
+			wantAttempt++
 		}
 	}
 	if !abandoned {

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"sonar/internal/obs"
@@ -32,6 +33,82 @@ func TestParallelEventStreamByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Error("parallel event streams differ between identical runs")
+	}
+}
+
+// stripBatchMerged drops the coordinator-only batch_merged events and
+// renumbers the remainder — the projection of a parallel stream onto the
+// serial engine's event vocabulary.
+func stripBatchMerged(events []obs.Event) []byte {
+	var b []byte
+	seq := 0
+	for _, e := range events {
+		if e.Kind == obs.BatchMerged {
+			continue
+		}
+		seq++
+		e.Seq = seq
+		enc, err := json.Marshal(e)
+		if err != nil {
+			panic(err)
+		}
+		b = append(append(b, enc...), '\n')
+	}
+	return b
+}
+
+// The "Workers<=1 reproduces serial" contract extends to the event stream:
+// serial Run and RunParallel(Workers=1) emit byte-identical streams once the
+// parallel engine's batch_merged bookkeeping is projected away. In
+// particular both report the same effective batch size in campaign_start
+// (serial Run used to emit batch=0 while Workers=1 emitted the normalized
+// default — the header itself broke the contract).
+func TestSerialEventStreamMatchesWorkers1(t *testing.T) {
+	base := SonarOptions(30)
+
+	sopt, smem := observedOptions(base)
+	Run(liteFactory(), sopt)
+
+	popt := base
+	popt.Workers = 1
+	popt, pmem := observedOptions(popt)
+	RunParallel(liteFactory, popt)
+
+	serial, parallel := stripBatchMerged(smem.Events()), stripBatchMerged(pmem.Events())
+	if len(serial) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Error("serial and Workers=1 event streams differ")
+	}
+	start := smem.Events()[0]
+	if start.Kind != obs.CampaignStart || start.Workers != 1 || start.BatchSize == 0 {
+		t.Errorf("serial campaign_start reports workers=%d batch=%d, want the normalized effective values",
+			start.Workers, start.BatchSize)
+	}
+}
+
+// The determinism contract at full width: a Workers=8 campaign — enough
+// rounds for the fold pipeline to run workers ahead of the barrier — yields
+// byte-equal event streams and identical Stats across two runs. CI runs
+// this under -race, exercising the ahead-of-barrier path for data races.
+func TestParallelWorkers8Deterministic(t *testing.T) {
+	run := func() (*Stats, []byte) {
+		opt := SonarOptions(96)
+		opt.Workers = 8
+		opt.BatchSize = 3 // 4 rounds per shard: the pipeline stays primed
+		opt, mem := observedOptions(opt)
+		st := RunParallel(liteFactory, opt)
+		return st, mem.Bytes()
+	}
+	stA, evA := run()
+	stB, evB := run()
+	statsEqual(t, stA, stB)
+	if len(evA) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if !bytes.Equal(evA, evB) {
+		t.Error("Workers=8 event streams differ between identical runs")
 	}
 }
 

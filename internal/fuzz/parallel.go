@@ -20,9 +20,36 @@ const (
 	maxBackoffShift = 4
 )
 
+// abandonAttempt is the Attempt value of the worker_failed event that
+// reports a shard abandonment. Failed batch attempts are numbered 1..N; the
+// abandonment is a disposition, not an attempt, and carries 0 so it can
+// never collide with a real attempt number (see obs.WorkerFailed).
+const abandonAttempt = 0
+
+// pipelineDepth is the number of recycled round-scratch buffers — and
+// therefore how many merge rounds may be in flight between the worker
+// barrier and the fold goroutine. Two means classic double buffering:
+// workers execute round k+1 while the folder drains round k.
+const pipelineDepth = 2
+
 // coordinator is the state of one parallel campaign run: the shard workers,
 // the static iteration budget per shard, the global corpus, and the stats
 // accumulator. RunParallel and Resume both construct one and drive run().
+//
+// Since the merge barrier was restructured for scaling (docs/PERFORMANCE.md),
+// the coordinator is split in two along the determinism contract:
+//
+//   - the barrier phase (run/runRound, main goroutine) does only the work
+//     the next round depends on: fault dispositions, shard bookkeeping, and
+//     the corpus merge + view distribution, all in canonical worker order;
+//   - the fold phase (fold, a dedicated goroutine) drains everything else —
+//     the per-outcome stats fold and every event emission — from a bounded
+//     queue of completed rounds, in round order, while the workers already
+//     execute the next batch.
+//
+// The fold order is exactly the old serial merge order, so Stats,
+// PerIteration, and the event stream stay byte-identical per (Seed,
+// Workers, BatchSize); only the wall-clock schedule changed.
 type coordinator struct {
 	newDUT  func() *DUT
 	opt     Options
@@ -39,6 +66,59 @@ type coordinator struct {
 	// cut at the first merge barrier at or past every nextCkpt iterations.
 	lastSaved int
 	nextCkpt  int
+
+	// Fold pipeline (see the type comment). foldCh carries merged rounds to
+	// the fold goroutine; foldDone returns their scratch for reuse.
+	// inFlight counts rounds handed off but not yet reclaimed, free holds
+	// reclaimed scratch, and scratches counts total allocations (capped at
+	// pipelineDepth). folderExit closes when the fold goroutine drains out.
+	foldCh     chan *roundScratch
+	foldDone   chan *roundScratch
+	folderExit chan struct{}
+	inFlight   int
+	free       []*roundScratch
+	scratches  int
+}
+
+// roundScratch is one merge round's recycled buffers and its deferred fold
+// work: per-shard outcomes and fault records (filled during the parallel
+// phase), plus the barrier's summary of what the folder must report.
+// Ownership alternates — the coordinator fills a scratch, hands it to the
+// fold goroutine, and only reuses it after it comes back — so the folder
+// reads each round's data race-free while the next round executes.
+type roundScratch struct {
+	round     int
+	outs      [][]outcome // per shard; capacity recycled across rounds
+	fails     [][]string  // failed-attempt reasons, per shard
+	recovered []bool      // batch succeeded on a replacement worker
+	abandoned []bool      // shard abandoned at this round's barrier
+	dropped   []int       // iterations dropped by the abandonment
+	merged    int         // iterations merged at the barrier
+	corpusLen int         // merged corpus size at the barrier
+	mergeLat  time.Duration
+}
+
+func newRoundScratch(workers int) *roundScratch {
+	return &roundScratch{
+		outs:      make([][]outcome, workers),
+		fails:     make([][]string, workers),
+		recovered: make([]bool, workers),
+		abandoned: make([]bool, workers),
+		dropped:   make([]int, workers),
+	}
+}
+
+// reset readies a scratch for the given round, keeping slice capacity.
+func (rs *roundScratch) reset(round int) {
+	rs.round = round
+	for i := range rs.outs {
+		rs.outs[i] = rs.outs[i][:0]
+		rs.fails[i] = rs.fails[i][:0]
+		rs.recovered[i] = false
+		rs.abandoned[i] = false
+		rs.dropped[i] = 0
+	}
+	rs.merged, rs.corpusLen, rs.mergeLat = 0, 0, 0
 }
 
 // normalizeParallel returns the effective (post-clamp) worker count and
@@ -61,27 +141,29 @@ func normalizeParallel(opt Options) (workers, batch int) {
 
 // RunParallel executes a sharded fuzzing campaign: Options.Workers workers,
 // each owning a private DUT built by newDUT, execute batches of testcases
-// against private corpus views; after every batch round a coordinator
-// merges triggered points, per-point best intervals, and retained seeds in
-// canonical worker order, and every worker restarts from the merged view.
+// against private corpus views; after every batch round the coordinator
+// merges retained seeds into the global corpus in canonical worker order and
+// restarts every worker from the merged view, while a fold goroutine drains
+// the round's statistics and events off the workers' critical path.
 //
 // Determinism contract: worker w draws from rand.NewSource(opt.Seed+w), the
 // batch schedule is static, and merges happen in worker order, so a
 // campaign is reproducible for a fixed (Seed, Workers, BatchSize) — and
 // Workers <= 1 reproduces Run's serial campaign exactly. The contract
-// extends to observability: opt.Observer's events are emitted only here on
-// the coordinator, in fold order, so the merged event stream (and
-// Stats.PerIteration, which it mirrors) is byte-identical across runs;
-// worker goroutines update atomic metrics only.
+// extends to observability: opt.Observer's events are emitted only by the
+// coordinator's fold goroutine, one round at a time in fold order, so the
+// merged event stream (and Stats.PerIteration, which it mirrors) is
+// byte-identical across runs; worker goroutines update atomic metrics only.
 //
 // Durability (docs/CAMPAIGNS.md): with Options.Checkpoint set, the
 // coordinator writes an atomic campaign snapshot at merge barriers every
-// CheckpointEvery iterations; Resume restores one into a campaign whose
-// remaining iterations — Stats and event stream included — are identical
-// to the uninterrupted run. Worker panics and (with IterTimeout) wedged
-// iterations are recovered by retrying the batch on a replacement worker;
-// a shard that keeps failing is abandoned and the campaign completes on
-// the remaining workers.
+// CheckpointEvery iterations (draining the fold pipeline first, so the
+// snapshot is exact); Resume restores one into a campaign whose remaining
+// iterations — Stats and event stream included — are identical to the
+// uninterrupted run. Worker panics and (with IterTimeout) wedged iterations
+// are recovered by retrying the batch on a replacement worker; a shard that
+// keeps failing is abandoned and the campaign completes on the remaining
+// workers.
 func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 	workers, batch := normalizeParallel(opt)
 
@@ -158,10 +240,16 @@ func Resume(newDUT func() *DUT, opt Options, cp *Checkpoint) (*Stats, error) {
 		go func(i int) {
 			defer wg.Done()
 			ws[i] = newShardWorker(i, newDUT(), opt, cp.Cursors[i])
-			ws[i].corpus = global.Snapshot()
 		}(i)
 	}
 	wg.Wait()
+	// Distribute copy-on-write views of the restored corpus on this
+	// goroutine (view marks the corpus frozen, which must not race).
+	for _, w := range ws {
+		if w != nil {
+			w.corpus = global.view()
+		}
+	}
 
 	acc := newStatsAccum(nil, opt)
 	acc.st = st
@@ -231,40 +319,104 @@ func nextCheckpointAfter(done int, opt Options) int {
 }
 
 // run drives the campaign to completion (or a MaxRounds pause) and returns
-// the accumulated Stats.
+// the accumulated Stats. Workers only execute inside runRound, so between
+// loop iterations the shards are quiescent; the fold goroutine may still be
+// draining earlier rounds, and every path that reads the accumulator or the
+// event-stream position (checkpoints, pause, completion) drains it first.
 func (c *coordinator) run() *Stats {
+	c.startFolder()
 	roundsThisRun := 0
 	for c.left > 0 {
 		if c.opt.MaxRounds > 0 && roundsThisRun >= c.opt.MaxRounds {
 			// Pause: persist the position and return the partial Stats
 			// without campaign_end, so a later Resume byte-continues the
 			// event stream.
+			c.drainFolds()
+			c.stopFolder()
 			c.writeCheckpoint(false)
 			c.acc.st.CorpusSize = c.global.Len()
 			return c.acc.st
 		}
 		c.round++
 		roundsThisRun++
-		c.runRound()
+		rs := c.acquireScratch()
+		c.runRound(rs)
+		c.foldCh <- rs
+		c.inFlight++
 		if c.opt.Iterations-c.left >= c.nextCkpt {
+			c.drainFolds()
 			c.writeCheckpoint(false)
 			c.nextCkpt = nextCheckpointAfter(c.opt.Iterations-c.left, c.opt)
 		}
 	}
+	c.drainFolds()
+	c.stopFolder()
 	c.acc.st.CorpusSize = c.global.Len()
 	c.writeCheckpoint(true)
 	c.acc.finish()
 	return c.acc.st
 }
 
-// runRound executes one batch round: the parallel phase (each live shard
-// drains one batch under the fault supervisor), the fault-event phase, and
-// the merge phase — the latter two in canonical worker order, keeping the
-// event stream deterministic.
-func (c *coordinator) runRound() {
-	outs := make([][]outcome, c.workers)
-	fails := make([][]string, c.workers)
-	recovered := make([]bool, c.workers)
+// startFolder launches the fold goroutine that drains merged rounds.
+func (c *coordinator) startFolder() {
+	c.foldCh = make(chan *roundScratch, pipelineDepth)
+	c.foldDone = make(chan *roundScratch, pipelineDepth)
+	c.folderExit = make(chan struct{})
+	go func() {
+		defer close(c.folderExit)
+		for rs := range c.foldCh {
+			c.fold(rs)
+			c.foldDone <- rs
+		}
+	}()
+}
+
+// stopFolder shuts the fold goroutine down after drainFolds emptied the
+// pipeline, so the coordinator may touch the accumulator and Observer
+// directly afterwards.
+func (c *coordinator) stopFolder() {
+	close(c.foldCh)
+	<-c.folderExit
+}
+
+// acquireScratch returns a round scratch to fill: a reclaimed one if
+// available, a fresh one while under the pipeline depth, and otherwise it
+// blocks until the folder finishes the oldest in-flight round — the
+// back-pressure that bounds how far workers may run ahead of the fold.
+func (c *coordinator) acquireScratch() *roundScratch {
+	if n := len(c.free); n > 0 {
+		rs := c.free[n-1]
+		c.free = c.free[:n-1]
+		return rs
+	}
+	if c.scratches < pipelineDepth {
+		c.scratches++
+		return newRoundScratch(c.workers)
+	}
+	rs := <-c.foldDone
+	c.inFlight--
+	return rs
+}
+
+// drainFolds blocks until every in-flight round has been folded. Callers
+// that read the accumulator, emit through the Observer, or snapshot the
+// campaign (checkpoints, completion) must drain first.
+func (c *coordinator) drainFolds() {
+	for c.inFlight > 0 {
+		c.free = append(c.free, <-c.foldDone)
+		c.inFlight--
+	}
+}
+
+// runRound executes one batch round's barrier work: the parallel phase
+// (each live shard drains one batch under the fault supervisor into the
+// round's scratch), then — workers quiescent — the fault dispositions and
+// the corpus merge in canonical worker order. Everything the next round
+// does not depend on (the stats fold, all event emission) is left in the
+// scratch for the fold goroutine, so the serial section of a round is just
+// the seed re-offers and scheduling bookkeeping.
+func (c *coordinator) runRound(rs *roundScratch) {
+	rs.reset(c.round)
 	var wg sync.WaitGroup
 	for i, w := range c.ws {
 		if w == nil {
@@ -280,62 +432,86 @@ func (c *coordinator) runRound() {
 		wg.Add(1)
 		go func(i, n int) {
 			defer wg.Done()
-			c.superviseShard(i, n, outs, fails, recovered)
+			c.superviseShard(i, n, rs)
 		}(i, n)
 	}
 	wg.Wait()
 
-	// Fault events first, in worker order: each failed attempt, then the
-	// recovery (or abandonment) disposition. Deterministic for a fixed
-	// fault schedule.
-	for i := range c.ws {
-		for a, reason := range fails[i] {
-			c.opt.Observer.WorkerFailed(i, c.round, a+1, reason)
-		}
-		if len(fails[i]) == 0 {
-			continue
-		}
-		if recovered[i] {
-			c.opt.Observer.BatchRetried(i, c.round, len(fails[i])+1)
-		} else {
-			// Abandon the shard: its budget is dropped and the campaign
-			// degrades to the remaining workers.
-			c.opt.Observer.WorkerFailed(i, c.round, len(fails[i]),
-				fmt.Sprintf("shard abandoned after %d failed attempts; %d iterations dropped", len(fails[i]), c.rem[i]))
-			c.left -= c.rem[i]
-			c.rem[i] = 0
-			c.ws[i] = nil
-		}
-	}
-
-	// Merge phase, canonical worker order: fold outcomes into the global
-	// stats and re-offer retained seeds to the global corpus (re-offering
-	// drops seeds another worker has already beaten).
 	mergeStart := time.Now() //sonar:nondeterministic-ok merge duration feeds a BatchMerged metric, not canonical output
-	merged := 0
+	// Barrier merge, canonical worker order: decide fault dispositions,
+	// account drained iterations, and re-offer retained seeds to the global
+	// corpus (re-offering drops seeds another worker has already beaten).
+	versionAtStart := c.global.version
+	refresh := false
 	for i, w := range c.ws {
 		if w == nil {
 			continue
 		}
-		for _, o := range outs[i] {
-			c.acc.apply(o)
+		if len(rs.fails[i]) > 0 && !rs.recovered[i] {
+			// Abandon the shard: its budget is dropped and the campaign
+			// degrades to the remaining workers. The folder reports it.
+			rs.abandoned[i] = true
+			rs.dropped[i] = c.rem[i]
+			c.left -= c.rem[i]
+			c.rem[i] = 0
+			c.ws[i] = nil
+			continue
 		}
-		c.rem[i] -= len(outs[i])
-		c.left -= len(outs[i])
-		merged += len(outs[i])
-		for _, s := range w.takeNewSeeds() {
-			c.global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
+		c.rem[i] -= len(rs.outs[i])
+		c.left -= len(rs.outs[i])
+		rs.merged += len(rs.outs[i])
+		if seeds := w.takeNewSeeds(); len(seeds) > 0 {
+			refresh = true
+			for _, s := range seeds {
+				c.global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
+			}
 		}
 	}
 
-	// Distribute: every worker restarts from the merged global view.
-	for _, w := range c.ws {
-		if w == nil {
+	// Distribute: when the merge changed the corpus (or any worker diverged
+	// by retaining locally), every worker restarts from a fresh
+	// copy-on-write view of the merged global; unchanged rounds — the
+	// steady state once retention has converged — distribute nothing at
+	// all, since every worker's view already equals the global corpus.
+	if refresh || c.global.version != versionAtStart {
+		for _, w := range c.ws {
+			if w == nil {
+				continue
+			}
+			w.corpus = c.global.view()
+		}
+	}
+	rs.corpusLen = c.global.Len()
+	rs.mergeLat = time.Since(mergeStart) //sonar:nondeterministic-ok operator-facing duration metric only
+}
+
+// fold drains one merged round on the fold goroutine, in exactly the order
+// the pre-pipeline coordinator used: fault events per shard (each failed
+// attempt, then the recovery or abandonment disposition), the per-outcome
+// stats fold in worker order, then the batch_merged event carrying the
+// barrier's corpus summary. This is the only goroutine that touches the
+// accumulator or emits events while a campaign runs, so the event stream
+// stays deterministic — and it runs concurrently with the next round's
+// execution, off the workers' critical path.
+func (c *coordinator) fold(rs *roundScratch) {
+	for i := range rs.fails {
+		for a, reason := range rs.fails[i] {
+			c.opt.Observer.WorkerFailed(i, rs.round, a+1, reason)
+		}
+		if len(rs.fails[i]) == 0 {
 			continue
 		}
-		w.corpus = c.global.Snapshot()
+		if rs.abandoned[i] {
+			c.opt.Observer.WorkerFailed(i, rs.round, abandonAttempt,
+				fmt.Sprintf("shard abandoned after %d failed attempts; %d iterations dropped", len(rs.fails[i]), rs.dropped[i]))
+		} else {
+			c.opt.Observer.BatchRetried(i, rs.round, len(rs.fails[i])+1)
+		}
 	}
-	c.opt.Observer.BatchMerged(c.round, merged, c.global.Len(), time.Since(mergeStart)) //sonar:nondeterministic-ok operator-facing duration metric only
+	for i := range rs.outs {
+		c.acc.applyAll(rs.outs[i])
+	}
+	c.opt.Observer.BatchMerged(rs.round, rs.merged, rs.corpusLen, rs.mergeLat)
 }
 
 // superviseShard drains one batch of n iterations on shard i, retrying on a
@@ -345,7 +521,12 @@ func (c *coordinator) runRound() {
 // is immutable during the parallel phase, so the replayed batch produces
 // outcomes identical to the fault-free run. After MaxRetries failed
 // retries the shard is left failed; the coordinator abandons it.
-func (c *coordinator) superviseShard(i, n int, outs [][]outcome, fails [][]string, recovered []bool) {
+//
+// Only the first attempt writes into the recycled rs.outs[i] scratch; a
+// failed attempt's goroutine may linger (a stalled batch runs to its own
+// end or forever), so after any failure the scratch buffer is surrendered
+// to that goroutine and retries append to fresh allocations.
+func (c *coordinator) superviseShard(i, n int, rs *roundScratch) {
 	maxRetries := c.opt.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = defaultMaxRetries
@@ -360,6 +541,7 @@ func (c *coordinator) superviseShard(i, n int, outs [][]outcome, fails [][]strin
 	if w := c.ws[i]; w != nil && w.src != nil {
 		cursor = w.src.cursor()
 	}
+	dst := rs.outs[i]
 	for attempt := 0; ; attempt++ {
 		w := c.ws[i]
 		if attempt > 0 {
@@ -368,17 +550,19 @@ func (c *coordinator) superviseShard(i, n int, outs [][]outcome, fails [][]strin
 				shift = maxBackoffShift
 			}
 			time.Sleep(backoff << uint(shift))
-			w = nil // build a replacement inside the attempt goroutine
+			w = nil   // build a replacement inside the attempt goroutine
+			dst = nil // the failed attempt's goroutine owns the scratch now
 		}
-		res, err := c.attemptBatch(w, i, n, cursor)
+		res, err := c.attemptBatch(w, dst, i, n, cursor)
 		if err == nil {
-			outs[i] = res.outs
+			rs.outs[i] = res.outs
 			c.ws[i] = res.w
-			recovered[i] = attempt > 0
+			rs.recovered[i] = attempt > 0
 			return
 		}
-		fails[i] = append(fails[i], err.Error())
+		rs.fails[i] = append(rs.fails[i], err.Error())
 		if attempt >= maxRetries {
+			rs.outs[i] = nil // surrendered to the lingering goroutine
 			return
 		}
 	}
@@ -397,9 +581,10 @@ type attemptResult struct {
 // replayed to the pre-batch cursor and a fresh global-corpus snapshot —
 // built inside the attempt goroutine so a panicking DUT constructor is
 // recovered like any other worker fault. An abandoned (stalled) attempt's
-// goroutine keeps only private state and sends into 1-buffered channels,
-// so it can finish late, or never, without racing or leaking a send.
-func (c *coordinator) attemptBatch(w *worker, i, n int, cursor uint64) (attemptResult, error) {
+// goroutine keeps only private state (including the dst buffer it was
+// given) and sends into 1-buffered channels, so it can finish late, or
+// never, without racing or leaking a send.
+func (c *coordinator) attemptBatch(w *worker, dst []outcome, i, n int, cursor uint64) (attemptResult, error) {
 	done := make(chan attemptResult, 1)
 	failed := make(chan string, 1)
 	start := time.Now() //sonar:nondeterministic-ok batch wall time feeds worker-busy metrics, not canonical output
@@ -411,9 +596,13 @@ func (c *coordinator) attemptBatch(w *worker, i, n int, cursor uint64) (attemptR
 		}()
 		if w == nil {
 			w = newShardWorker(i, c.newDUT(), c.opt, cursor)
+			// Deep-copy snapshot, not a view: view() mutates the global
+			// corpus's freeze flag, which must not race with other shards'
+			// replacement builds during the parallel phase. Content equals
+			// the view the original worker held, so the replay is exact.
 			w.corpus = c.global.Snapshot()
 		}
-		done <- attemptResult{outs: w.runBatch(n, c.round), w: w}
+		done <- attemptResult{outs: w.runBatch(dst, n, c.round), w: w}
 	}()
 
 	var deadline <-chan time.Time
@@ -434,9 +623,11 @@ func (c *coordinator) attemptBatch(w *worker, i, n int, cursor uint64) (attemptR
 }
 
 // writeCheckpoint persists the campaign position when Options.Checkpoint is
-// set. complete marks the final checkpoint of a finished campaign. Failures
-// to write are reported through the checkpoint metrics staying flat — the
-// campaign itself never aborts on checkpoint I/O errors (the operator loses
+// set. complete marks the final checkpoint of a finished campaign. Callers
+// must have drained the fold pipeline, so the snapshot sees the exact
+// accumulator and event-stream position of the barrier. Failures to write
+// are reported through the checkpoint metrics staying flat — the campaign
+// itself never aborts on checkpoint I/O errors (the operator loses
 // durability, not results).
 func (c *coordinator) writeCheckpoint(complete bool) {
 	if c.opt.Checkpoint == "" {

@@ -36,10 +36,13 @@ const (
 	// CampaignEnd closes a campaign: Iterations (executed), CumPoints,
 	// CumTimingDiffs, Findings, CorpusSize, Cycles (campaign total).
 	CampaignEnd Kind = "campaign_end"
-	// WorkerFailed records one failed batch attempt (worker panic, wedged
-	// iteration, or shard abandonment): Worker, Batch, Attempt (1-based),
-	// Reason. Emitted by the coordinator after the merge barrier, in worker
-	// order, so the stream stays deterministic for a fixed fault schedule.
+	// WorkerFailed records one failed batch attempt (worker panic or wedged
+	// iteration): Worker, Batch, Attempt (1-based), Reason. A shard
+	// abandonment is reported as a final WorkerFailed with Attempt == 0 —
+	// the abandonment is a disposition, not an attempt, so its marker can
+	// never collide with a real attempt number. Emitted by the coordinator
+	// after the merge barrier, in worker order, so the stream stays
+	// deterministic for a fixed fault schedule.
 	WorkerFailed Kind = "worker_failed"
 	// BatchRetried records a batch that succeeded on a replacement worker
 	// after one or more failures: Worker, Batch, Attempt (the succeeding
@@ -79,7 +82,9 @@ type Event struct {
 
 	// Worker is the parallel worker index a fault event refers to.
 	Worker int `json:"worker"`
-	// Attempt is the 1-based batch attempt a fault event refers to.
+	// Attempt is the 1-based batch attempt a fault event refers to; 0 on a
+	// worker_failed event marks the shard-abandonment disposition (see the
+	// WorkerFailed Kind).
 	Attempt int `json:"attempt"`
 	// Reason is the failure description of a worker_failed event. Reasons
 	// carry no wall-clock content, preserving stream determinism under a
