@@ -163,6 +163,11 @@ type campaignResult struct {
 	// efficiency floor checks. Zero when CampaignParallel1 was not measured
 	// in the same run.
 	ScalingVsParallel1 float64 `json:"scaling_vs_parallel1"`
+	// LanesSpeedup is CampaignLanes64's cycles_per_sec over the same run's
+	// CampaignLanes1 — the bit-parallel evaluator's speedup over 64 scalar
+	// replays of the same workload, enforced by the benchguard lane floor.
+	// Recorded only on the CampaignLanes64 entry.
+	LanesSpeedup float64 `json:"lanes_speedup,omitempty"`
 }
 
 var (
@@ -195,6 +200,14 @@ func TestMain(m *testing.M) {
 			}
 		}
 	}
+	// Lane speedup: the bit-parallel evaluator's cycle throughput relative
+	// to 64 scalar replays from the same run (see lane_bench_test.go).
+	if l1, ok := campaignResults["CampaignLanes1"]; ok && l1.CyclesPerSec > 0 {
+		if l64, ok := campaignResults["CampaignLanes64"]; ok {
+			l64.LanesSpeedup = l64.CyclesPerSec / l1.CyclesPerSec
+			campaignResults["CampaignLanes64"] = l64
+		}
+	}
 	if len(campaignResults) > 0 {
 		data, err := json.MarshalIndent(campaignResults, "", "  ")
 		if err == nil {
@@ -214,6 +227,14 @@ func TestMain(m *testing.M) {
 // accounting and files the result for the BENCH_campaign.json emitter.
 // run executes one full campaign and returns its simulated cycle count.
 func recordCampaign(b *testing.B, name string, run func() int64) {
+	recordThroughput(b, name, benchIters, run)
+}
+
+// recordThroughput is the shared benchmark recorder: run is executed b.N
+// times under alloc/cycle accounting, with each execution counting as
+// itersPerRun iterations (fuzzing iterations for the campaign benchmarks,
+// testcases for the lane benchmarks).
+func recordThroughput(b *testing.B, name string, itersPerRun int, run func() int64) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	allocs0 := ms.Mallocs
@@ -225,7 +246,7 @@ func recordCampaign(b *testing.B, name string, run func() int64) {
 	b.StopTimer()
 	runtime.ReadMemStats(&ms)
 	secs := b.Elapsed().Seconds()
-	iters := float64(benchIters) * float64(b.N)
+	iters := float64(itersPerRun) * float64(b.N)
 	r := campaignResult{
 		ItersPerSec:   iters / secs,
 		NsPerIter:     b.Elapsed().Seconds() * 1e9 / iters,

@@ -22,6 +22,14 @@
 // files from before cores was recorded) skip the check: there is no
 // parallelism to lose.
 //
+// A second run-property gate covers the bit-parallel evaluator: the
+// CampaignLanes64 entry records its cycle throughput over CampaignLanes1
+// from the same run (lanes_speedup), and the gate requires at least
+// -lane-speedup (default 4x) — the 64-testcases-per-word evaluator must
+// actually outrun 64 scalar replays of the same workload, or the lane
+// engine has regressed to scalar spill. Files without lane entries skip
+// the check.
+//
 // Usage:
 //
 //	go test -run '^$' -bench Campaign -benchtime 1x .
@@ -132,6 +140,37 @@ func checkScaling(cur map[string]row, efficiency float64) bool {
 	return ok
 }
 
+// checkLanes enforces the bit-parallel evaluator's speedup floor on the
+// current results. Like scaling, this is a property of the run, not the
+// baseline: lanes_speedup is CampaignLanes64's cycles_per_sec over the same
+// run's CampaignLanes1 (re-derived from those entries when the field is
+// absent). It returns false on a violation.
+func checkLanes(cur map[string]row, minSpeedup float64) bool {
+	c, ok := cur["CampaignLanes64"]
+	if !ok {
+		fmt.Println("skip lanes: no CampaignLanes64 entry to check")
+		return true
+	}
+	ratio := c["lanes_speedup"]
+	if ratio == 0 {
+		if base, ok := cur["CampaignLanes1"]; ok && base["cycles_per_sec"] > 0 {
+			ratio = c["cycles_per_sec"] / base["cycles_per_sec"]
+		}
+	}
+	if ratio == 0 {
+		fmt.Printf("FAIL %-20s no lanes_speedup recorded and no CampaignLanes1 to derive it from\n",
+			"CampaignLanes64")
+		return false
+	}
+	status := "ok  "
+	if ratio < minSpeedup {
+		status = "FAIL"
+	}
+	fmt.Printf("%s %-20s %5.2fx cycles/sec vs CampaignLanes1 (floor %.2fx)\n",
+		status, "CampaignLanes64", ratio, minSpeedup)
+	return ratio >= minSpeedup
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sonar-benchguard: ")
@@ -140,6 +179,7 @@ func main() {
 		baseline = flag.String("baseline", "BENCH_baseline.json", "committed baseline to check against")
 		factor   = flag.Float64("factor", 2, "allowed regression factor on top of the baseline margin")
 		scaleff  = flag.Float64("scaling-efficiency", 0.75, "required CampaignParallelN/CampaignParallel1 throughput ratio, as a fraction of min(N, cores)")
+		lanespd  = flag.Float64("lane-speedup", 4, "required CampaignLanes64/CampaignLanes1 cycle-throughput ratio")
 	)
 	flag.Parse()
 	f := *factor
@@ -190,6 +230,9 @@ func main() {
 			status, name, c["iters_per_sec"], b["iters_per_sec"]/f, c["allocs_per_iter"], b["allocs_per_iter"]*f)
 	}
 	if !checkScaling(cur, *scaleff) {
+		failed = true
+	}
+	if !checkLanes(cur, *lanespd) {
 		failed = true
 	}
 	if failed {

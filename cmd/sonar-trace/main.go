@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	sonar-trace [-requests] file.fir
-//	sonar-trace -dut boom            # analyze a bundled DUT netlist instead
+//	sonar-trace [-requests] [-dot ID] file.fir
+//	sonar-trace -dut boom|nutshell   # analyze a bundled DUT netlist instead
+//
+// -requests lists every contention point with its requests and validity
+// conjunctions; -dot emits the Graphviz DOT tree of one point and exits.
 package main
 
 import (
@@ -50,7 +53,7 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatal("usage: sonar-trace [-requests] file.fir | sonar-trace -dut boom")
+		log.Fatal("usage: sonar-trace [-requests] [-dot ID] file.fir | sonar-trace -dut boom|nutshell")
 	}
 
 	a := trace.Analyze(net)

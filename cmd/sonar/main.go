@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sonar [-dut boom|nutshell] [-iters N] [-seed N] [-workers N] [-dual] [-random] [-v]
+//	sonar [-dut boom|nutshell] [-iters N] [-seed N] [-workers N] [-lanes N] [-dual] [-random] [-v]
 //
 // Examples:
 //
@@ -50,6 +50,7 @@ func main() {
 		iters   = flag.Int("iters", 300, "fuzzing iterations")
 		seed    = flag.Int64("seed", 1, "campaign RNG seed")
 		workers = flag.Int("workers", 1, "parallel campaign shards (1 = legacy serial engine)")
+		lanes   = flag.Int("lanes", 1, "evaluator batch width, 1..64 testcases per plane word (docs/SIMULATOR.md); campaign results are identical at every width")
 		dual    = flag.Bool("dual", false, "dual-core scenario (boom only)")
 		random  = flag.Bool("random", false, "disable all guidance (random-testing baseline)")
 		verbose = flag.Bool("v", false, "print every finding")
@@ -125,6 +126,7 @@ func main() {
 	opt.DualCore = *dual
 	opt.KeepFindings = 32
 	opt.Workers = *workers
+	opt.Lanes = *lanes
 	if cp != nil {
 		// The checkpoint's shape overrides the shape flags: resuming a
 		// campaign under a different seed or strategy would break the

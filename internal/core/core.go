@@ -100,10 +100,12 @@ func (s *Sonar) Identify() *IdentificationReport {
 // detection (§7). Campaigns with Options.Workers > 1 — or using the
 // durability surface (checkpointing, MaxRounds pausing, fault tolerance),
 // which lives in the parallel engine — are dispatched to FuzzParallel;
-// Workers <= 1 there still reproduces the serial campaign exactly. An
-// attached Options.Observer additionally receives the DUT's identification
-// gauges, so one metrics scrape relates campaign coverage to the point
-// population.
+// Workers <= 1 there still reproduces the serial campaign exactly.
+// Options.Lanes never affects dispatch: the lane width is an evaluator
+// batching knob both engines honor with byte-identical results
+// (docs/SIMULATOR.md), so it needs no routing of its own. An attached
+// Options.Observer additionally receives the DUT's identification gauges,
+// so one metrics scrape relates campaign coverage to the point population.
 func (s *Sonar) Fuzz(opt fuzz.Options) *fuzz.Stats {
 	if opt.Workers > 1 || opt.Checkpoint != "" || opt.MaxRounds > 0 ||
 		opt.IterTimeout > 0 || opt.FaultHook != nil {

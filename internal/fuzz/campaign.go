@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sonar/internal/detect"
+	"sonar/internal/hdl"
 	"sonar/internal/monitor"
 	"sonar/internal/obs"
 )
@@ -48,6 +49,21 @@ type Options struct {
 	// batches tighten the feedback loop; larger ones reduce
 	// synchronization overhead.
 	BatchSize int
+	// Lanes is the evaluator batch width: how many testcases a worker
+	// groups into one logical lane batch, clamped to [1, hdl.Lanes].
+	// 0 or 1 is the scalar path. Netlist-evaluation backends
+	// (sim.LaneSimulator with monitor.LaneBank) execute a full lane group
+	// bit-parallel, one testcase per bit of every plane word; the
+	// behavioral DUT models (boom/nutshell direct-drive) cannot be
+	// bit-sliced and execute the group's lanes through the scalar path in
+	// ascending lane order — the campaign-level analog of the lane
+	// evaluator's prim scalar spill (docs/SIMULATOR.md). Demuxed outcomes
+	// are folded in canonical lane order either way, so Stats,
+	// PerIteration, checkpoints, and the event stream are byte-identical
+	// for a fixed (Seed, Workers, BatchSize) across every Lanes setting —
+	// the contract TestLaneMatrix pins. Lanes is therefore an operational
+	// knob, not part of the checkpoint Shape.
+	Lanes int
 	// Observer receives campaign metrics and structured events (package
 	// obs). nil disables observability at near-zero hot-path cost. Events
 	// are emitted only under the campaign coordinator in canonical
@@ -313,14 +329,41 @@ func (w *worker) runOne() outcome {
 // before each iteration, from this (worker) goroutine — a scheduled panic
 // or stall therefore surfaces exactly where a real worker fault would.
 func (w *worker) runBatch(dst []outcome, n, round int) []outcome {
-	for i := 0; i < n; i++ {
-		if h := w.opt.FaultHook; h != nil {
-			h.BeforeIteration(w.id, round, i)
+	lanes := normalizeLanes(w.opt)
+	for base := 0; base < n; base += lanes {
+		group := lanes
+		if base+group > n {
+			group = n - base
 		}
-		dst = append(dst, w.runOne())
+		// Each group is one logical lane batch (Options.Lanes). Behavioral
+		// DUT models execute its lanes through the scalar path in ascending
+		// lane order — the campaign-level scalar spill — and every lane's
+		// corpus/RNG feedback folds in that same order, so the outcome
+		// stream is identical at every lane width.
+		for lane := 0; lane < group; lane++ {
+			i := base + lane
+			if h := w.opt.FaultHook; h != nil {
+				h.BeforeIteration(w.id, round, i)
+			}
+			dst = append(dst, w.runOne())
+		}
 	}
 	w.flushMutationMetrics()
 	return dst
+}
+
+// normalizeLanes resolves Options.Lanes to the effective lane-group width:
+// at least 1 (scalar), at most hdl.Lanes (one testcase per bit of a plane
+// word).
+func normalizeLanes(opt Options) int {
+	lanes := opt.Lanes
+	if lanes < 1 {
+		return 1
+	}
+	if lanes > hdl.Lanes {
+		return hdl.Lanes
+	}
+	return lanes
 }
 
 // flushMutationMetrics publishes the batched retention-decision counters
@@ -484,9 +527,19 @@ func Run(d *DUT, opt Options) *Stats {
 		workers = 1 // Run is the single-shard engine regardless of opt.Workers
 	}
 	opt.Observer.CampaignStart(d.Analysis.Netlist.Name(), opt.Iterations, workers, batch, opt.Seed)
-	for it := 0; it < opt.Iterations; it++ {
-		acc.apply(w.runOne())
-		w.flushMutationMetrics()
+	// The serial engine groups iterations into the same lane batches as
+	// runBatch; on behavioral DUTs every lane takes the scalar path, so the
+	// grouping is pure bookkeeping and the fold order never changes.
+	lanes := normalizeLanes(opt)
+	for base := 0; base < opt.Iterations; base += lanes {
+		group := lanes
+		if base+group > opt.Iterations {
+			group = opt.Iterations - base
+		}
+		for lane := 0; lane < group; lane++ {
+			acc.apply(w.runOne())
+			w.flushMutationMetrics()
+		}
 	}
 	acc.st.CorpusSize = w.corpus.Len()
 	acc.finish()

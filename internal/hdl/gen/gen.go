@@ -1,0 +1,234 @@
+// Package gen deterministically generates random — but structurally valid —
+// netlists for differential testing and benchmarking of the evaluators in
+// internal/sim.
+//
+// Generated designs are acyclic by construction: combinational nodes only
+// consume signals created before them, and register feedback paths are wired
+// last, after all combinational logic exists (register outputs break
+// combinational dependency edges, so back-edges through them are legal).
+// Every netlist returned by New has passed the structural verifier
+// (internal/hdl/check) with default closed-design options — no undriven
+// wires, no multi-driven signals, no combinational cycles.
+//
+// Optional arbiter blocks follow the naming convention the validity tracer
+// recognizes (reqK / reqK_valid, paper Algorithm 1), so generated designs
+// expose monitorable contention points to trace.Analyze and can carry a full
+// monitor workload in benchmarks.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sonar/internal/hdl"
+	"sonar/internal/hdl/check"
+)
+
+// Config parameterizes one generated netlist. The zero value generates a
+// small default design; every field only tightens or widens that shape.
+type Config struct {
+	// Seed selects the design. Equal configs generate identical netlists.
+	Seed int64
+	// Inputs is the number of input ports (default 4). The first input is
+	// always 1 bit wide so selects have a natural driver.
+	Inputs int
+	// Nodes is the number of random combinational nodes — muxes, prims, and
+	// buffer wires (default 32).
+	Nodes int
+	// Regs is the number of registers (default 4). Each receives a
+	// combinational driver after all logic is built.
+	Regs int
+	// Arbiters is the number of arbiter blocks with reqK/reqK_valid naming,
+	// each a Fanin:1 MuxTree the contention-point analysis can monitor
+	// (default 0).
+	Arbiters int
+	// Fanin is the request count per arbiter (default 4, minimum 2).
+	Fanin int
+	// MaxWidth caps signal widths, 1..64 (default 8).
+	MaxWidth int
+	// PrimShare is the fraction of combinational nodes that are primitive
+	// operations rather than muxes or buffers (default 0.25). Prims force
+	// the lane evaluator onto its scalar spill path, so differential tests
+	// want some and lane benchmarks may want none (set to a negative value
+	// for exactly zero prims).
+	PrimShare float64
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Inputs == 0 {
+		c.Inputs = 4
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 32
+	}
+	if c.Regs == 0 {
+		c.Regs = 4
+	}
+	if c.Fanin < 2 {
+		c.Fanin = 4
+	}
+	if c.MaxWidth == 0 {
+		c.MaxWidth = 8
+	}
+	if c.MaxWidth < 1 {
+		c.MaxWidth = 1
+	}
+	if c.MaxWidth > 64 {
+		c.MaxWidth = 64
+	}
+	if c.PrimShare == 0 {
+		c.PrimShare = 0.25
+	}
+	if c.PrimShare < 0 {
+		c.PrimShare = 0
+	}
+	return c
+}
+
+// primOps are the primitive operations the generator emits: the subset of
+// hdl.Prim ops with total semantics over arbitrary operands (no division,
+// no parameterized bit surgery), split by arity.
+var (
+	primOps1 = []string{"not", "andr", "orr", "xorr"}
+	primOps2 = []string{"and", "or", "xor", "add", "sub", "eq", "neq", "lt", "gt", "cat"}
+)
+
+// New generates a random netlist from the config and verifies it with
+// internal/hdl/check before returning. The error is non-nil only if the
+// generated design fails structural verification — which would be a
+// generator bug, but callers (fuzz-style differential tests) must not
+// silently simulate a broken design.
+func New(cfg Config) (*hdl.Netlist, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := hdl.NewNetlist(fmt.Sprintf("gen%d", cfg.Seed))
+	m := n.Module("gen")
+
+	width := func() int { return 1 + rng.Intn(cfg.MaxWidth) }
+
+	// Operand pool: everything a later node may consume. Constants are
+	// tracked separately so select picks can avoid them (a const select is
+	// legal but dead logic — the checker flags it as an Info finding and the
+	// generator aims for live designs).
+	var pool, selPool []*hdl.Signal
+	add := func(s *hdl.Signal) {
+		pool = append(pool, s)
+		if !s.IsConst() {
+			selPool = append(selPool, s)
+		}
+	}
+
+	add(m.Const("c0", 1, 0))
+	add(m.Const("c1", 1, 1))
+	add(m.Const("cw", cfg.MaxWidth, rng.Uint64()))
+
+	for i := 0; i < cfg.Inputs; i++ {
+		w := width()
+		if i == 0 {
+			w = 1
+		}
+		add(m.Input(fmt.Sprintf("in%d", i), w))
+	}
+
+	var regs []*hdl.Signal
+	for i := 0; i < cfg.Regs; i++ {
+		r := m.Reg(fmt.Sprintf("r%d", i), width())
+		regs = append(regs, r)
+		add(r)
+	}
+
+	pick := func() *hdl.Signal { return pool[rng.Intn(len(pool))] }
+	pickSel := func() *hdl.Signal { return selPool[rng.Intn(len(selPool))] }
+
+	// Combinational fabric: each node consumes only already-created signals,
+	// so the combinational graph is acyclic by construction.
+	for i := 0; i < cfg.Nodes; i++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.PrimShare:
+			var op string
+			var args []*hdl.Signal
+			if rng.Intn(4) == 0 {
+				op = primOps1[rng.Intn(len(primOps1))]
+				args = []*hdl.Signal{pick()}
+			} else {
+				op = primOps2[rng.Intn(len(primOps2))]
+				args = []*hdl.Signal{pick(), pick()}
+			}
+			out := m.Wire(fmt.Sprintf("p%d", i), hdl.PrimResultWidth(op, args, nil))
+			n.Prim(out, op, args, nil)
+			add(out)
+		case r < cfg.PrimShare+0.2:
+			srcs := 2 + rng.Intn(3)
+			w := 1
+			picked := make([]*hdl.Signal, srcs)
+			for k := range picked {
+				picked[k] = pick()
+				if picked[k].Width() > w {
+					w = picked[k].Width()
+				}
+			}
+			out := m.Wire(fmt.Sprintf("b%d", i), w)
+			for _, src := range picked {
+				out.AddSource(src)
+			}
+			add(out)
+		default:
+			mx := m.Mux(fmt.Sprintf("m%d", i), pickSel(), pick(), pick())
+			add(mx.Out)
+		}
+	}
+
+	// Arbiter blocks: Fanin requests with the reqK/reqK_valid naming the
+	// validity tracer pattern-matches, selected priority-style by the valid
+	// bits themselves. The grant feeds a sink buffer so the tree root stays
+	// a cascade root (nothing consumes it as mux data).
+	for a := 0; a < cfg.Arbiters; a++ {
+		am := m.Child(fmt.Sprintf("arb%d", a))
+		datas := make([]*hdl.Signal, cfg.Fanin)
+		valids := make([]*hdl.Signal, cfg.Fanin)
+		for k := 0; k < cfg.Fanin; k++ {
+			data := am.Wire(fmt.Sprintf("req%d", k), width())
+			data.AddSource(pick())
+			valid := am.Wire(fmt.Sprintf("req%d_valid", k), 1)
+			valid.AddSource(pickSel())
+			datas[k], valids[k] = data, valid
+			add(data)
+			add(valid)
+		}
+		root := am.MuxTree("grant", valids[:cfg.Fanin-1], datas)
+		sink := am.Wire("sink", root.Out.Width())
+		sink.AddSource(root.Out)
+		add(sink)
+	}
+
+	// Register feedback, wired last so drivers can reach any signal in the
+	// design. Register outputs break combinational dependency edges, so
+	// these back-references cannot create evaluation cycles. They DO appear
+	// in the mux-driver graph that contention-point tracing walks, though —
+	// trace.collect recurses through mux drivers without stopping at
+	// registers — so a mux driving a register draws its data inputs from
+	// mux-free signals only (buffers, prims, inputs, constants), keeping the
+	// driver graph a forest.
+	var muxFree []*hdl.Signal
+	for _, s := range pool {
+		if _, driven := n.Driver(s); !driven && s.Kind() != hdl.Reg {
+			muxFree = append(muxFree, s)
+		}
+	}
+	pickMuxFree := func() *hdl.Signal { return muxFree[rng.Intn(len(muxFree))] }
+	for _, r := range regs {
+		if rng.Intn(2) == 0 {
+			m.MuxInto(r, pickSel(), pickMuxFree(), pickMuxFree())
+		} else {
+			r.AddSource(pick())
+			r.AddSource(pick())
+		}
+	}
+
+	if err := check.Check(n, check.Options{}).Err(); err != nil {
+		return nil, fmt.Errorf("gen: seed %d produced an invalid design: %w", cfg.Seed, err)
+	}
+	return n, nil
+}

@@ -110,26 +110,13 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 		points = a.Points
 	}
 	for _, p := range points {
-		st := &pointState{
-			point:     p,
-			trueCnt:   make([]int32, len(p.Requests)),
-			need:      make([]int32, len(p.Requests)),
-			lastCycle: make([]int64, len(p.Requests)),
-			lastData:  make([]uint64, len(p.Requests)),
-		}
-		for ri := range p.Requests {
-			if !p.Requests[ri].HasValid() && !p.Requests[ri].Data.IsConst() {
-				st.constPeer = true
-			}
-		}
-		st.reset()
+		st := newPointState(p)
 		m.states = append(m.states, st)
 		for ri := range p.Requests {
 			req := &p.Requests[ri]
 			if !req.HasValid() {
 				continue
 			}
-			st.need[ri] = int32(len(req.Valids))
 			ri := ri
 			hook := func(_ *hdl.Signal, old, new uint64, cycle int64) {
 				m.onValidDelta(st, ri, old, new, cycle)
@@ -145,6 +132,30 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 		m.statements += 2 + len(p.Requests)
 	}
 	return m
+}
+
+// newPointState builds the instrumentation state for one point, reset and
+// ready for hooks (the true-valid recount is the caller's job: scalar and
+// lane monitors read values from different planes).
+func newPointState(p *trace.Point) *pointState {
+	st := &pointState{
+		point:     p,
+		trueCnt:   make([]int32, len(p.Requests)),
+		need:      make([]int32, len(p.Requests)),
+		lastCycle: make([]int64, len(p.Requests)),
+		lastData:  make([]uint64, len(p.Requests)),
+	}
+	for ri := range p.Requests {
+		req := &p.Requests[ri]
+		if !req.HasValid() && !req.Data.IsConst() {
+			st.constPeer = true
+		}
+		if req.HasValid() {
+			st.need[ri] = int32(len(req.Valids))
+		}
+	}
+	st.reset()
+	return st
 }
 
 // recount re-derives the per-request true-valid counts from the current
@@ -206,30 +217,41 @@ func (m *Monitor) Reset() {
 }
 
 // onValidDelta folds one valid-signal value change into the request's
-// true-valid count. The conjunction rises exactly when the count reaches the
-// conjunction size via an increment: a nonzero→nonzero change leaves the
-// truth (and the count) untouched, so this reproduces re-evaluating the full
-// conjunction at O(1) cost.
+// true-valid count, recording an event on a completed conjunction inside the
+// window.
 func (m *Monitor) onValidDelta(st *pointState, ri int, old, new uint64, cycle int64) {
-	wasTrue, isTrue := old != 0, new != 0
-	if wasTrue == isTrue {
-		return // value changed but truth did not
-	}
-	if !isTrue {
-		st.trueCnt[ri]--
+	if !st.applyValidDelta(ri, old, new) {
 		return
-	}
-	st.trueCnt[ri]++
-	if st.trueCnt[ri] != st.need[ri] {
-		return // conjunction still has false members
 	}
 	if !m.window {
 		return
 	}
-	m.record(st, ri, cycle, st.point.Requests[ri].Data.Value())
+	st.record(&m.cfg, ri, cycle, st.point.Requests[ri].Data.Value())
 }
 
-func (m *Monitor) record(st *pointState, ri int, cycle int64, data uint64) {
+// applyValidDelta folds one valid-signal value change into the request's
+// true-valid count and reports whether the validity conjunction just
+// completed. The conjunction rises exactly when the count reaches the
+// conjunction size via an increment: a nonzero→nonzero change leaves the
+// truth (and the count) untouched, so this reproduces re-evaluating the full
+// conjunction at O(1) cost. Both the scalar Monitor and the LaneBank fold
+// their deltas through here.
+func (st *pointState) applyValidDelta(ri int, old, new uint64) bool {
+	wasTrue, isTrue := old != 0, new != 0
+	if wasTrue == isTrue {
+		return false // value changed but truth did not
+	}
+	if !isTrue {
+		st.trueCnt[ri]--
+		return false
+	}
+	st.trueCnt[ri]++
+	return st.trueCnt[ri] == st.need[ri]
+}
+
+// record folds one in-window valid arrival of request ri with the given
+// data-field value into the point's reqsIntvl statistics and event log.
+func (st *pointState) record(cfg *Config, ri int, cycle int64, data uint64) {
 	// A constantly-valid co-request arrives every cycle: any event is a
 	// simultaneous distinct-request arrival.
 	if st.constPeer {
@@ -254,7 +276,7 @@ func (m *Monitor) record(st *pointState, ri int, cycle int64, data uint64) {
 		if d := cycle - st.lastCycle[ri]; d < st.minIntvlSame {
 			st.minIntvlSame = d
 		}
-		if data&m.cfg.SimilarityMask == st.lastData[ri]&m.cfg.SimilarityMask {
+		if data&cfg.SimilarityMask == st.lastData[ri]&cfg.SimilarityMask {
 			st.samePathHit = true
 		}
 	}

@@ -59,11 +59,20 @@ func (m *Monitor) Snapshot() *Snapshot {
 //
 //sonar:alloc-free
 func (m *Monitor) SnapshotInto(s *Snapshot) {
-	if cap(s.Points) < len(m.states) {
-		s.Points = make([]PointSnapshot, len(m.states))
+	snapshotInto(s, m.states)
+}
+
+// snapshotInto captures the state of one ordered point-state list into s,
+// reusing its buffers; it backs both Monitor.SnapshotInto and the per-lane
+// captures of LaneBank.
+//
+//sonar:alloc-free
+func snapshotInto(s *Snapshot, states []*pointState) {
+	if cap(s.Points) < len(states) {
+		s.Points = make([]PointSnapshot, len(states))
 	}
-	s.Points = s.Points[:len(m.states)]
-	for i, st := range m.states {
+	s.Points = s.Points[:len(states)]
+	for i, st := range states {
 		events := append(s.Points[i].Events[:0], st.events...)
 		s.Points[i] = PointSnapshot{
 			Point:               st.point,

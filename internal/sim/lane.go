@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sonar/internal/hdl"
+)
+
+// laneRef locates one operand in the bit-sliced plane: the word offset of
+// its bit 0 and its width in bits (= words).
+type laneRef struct {
+	off int32
+	w   int32
+}
+
+// lnode is a compiled combinational element of the lane evaluator, the
+// bit-sliced analog of cnode. Mux and buffer nodes evaluate all hdl.Lanes
+// testcases per word operation; prim nodes are classified at compile time as
+// scalar spills (kind nkPrim) and evaluate lane by lane through
+// hdl.Prim.Compute on the scalar plane.
+type lnode struct {
+	kind    uint8
+	regSlot int32 // index into regs if out is a register, else -1
+	out     *hdl.Signal
+	outRef  laneRef
+	sel     laneRef   // mux: select operand
+	tval    laneRef   // mux: true-value operand
+	fval    laneRef   // mux: false-value operand
+	prim    *hdl.Prim // prim: computed per lane via Prim.Compute
+	bufs    []laneRef // buf: source operands, OR-reduced per word
+}
+
+// lreg is one register with a combinational driver: where its latched words
+// live in the plane and where its staged next-words live in the staging
+// buffer.
+type lreg struct {
+	sig     *hdl.Signal
+	planeEl laneRef
+	nextOff int32
+}
+
+// LaneSimulator evaluates a netlist for hdl.Lanes independent testcases at
+// once over a bit-sliced hdl.LanePlane. Lane L of every word is testcase L's
+// value, so a 2:1 mux settles for all 64 lanes with three word operations
+// per output bit: (selMask & tval) | (^selMask & fval), where selMask is the
+// lane-wise "select non-zero" mask. Buffers OR-reduce per word; registers
+// latch per lane at Tick. Prim nodes cannot be bit-sliced and take a scalar
+// spill path (classified once at compile time): each lane's operands are
+// gathered onto the netlist's scalar value plane, Prim.Compute runs, and the
+// result is scattered back — so during and after lane evaluation the scalar
+// plane of spilled signals is scratch, not state. LoadScalar/StoreLane on
+// the plane convert between the two worlds.
+//
+// Per-lane value changes are observable through WatchLanes hooks, the lane
+// analog of Signal.Watch; scalar watch hooks never fire during lane
+// evaluation because the scalar plane is bypassed.
+type LaneSimulator struct {
+	net     *hdl.Netlist
+	plane   *hdl.LanePlane
+	order   []lnode
+	next    []uint64 // staged register next-words, by lreg.nextOff
+	regs    []lreg
+	watch   [][]hdl.LaneWatchFunc // lane watch hooks by signal id
+	bits    []uint64              // "any lane watcher?" bitset by signal id
+	cycle   int64
+	spilled int
+
+	// Fixed scratch buffers sized for the maximum signal width, so Eval and
+	// Tick stay allocation-free.
+	outBuf   [64]uint64 // new out words of the node being evaluated
+	oldBuf   [64]uint64 // previous out words, for watcher dispatch
+	laneVals [hdl.Lanes]uint64
+}
+
+// NewLanes builds a lane simulator for the netlist: the same levelized
+// evaluation order as New, compiled against a fresh hdl.LanePlane seeded
+// from the netlist's current scalar values (all lanes start identical).
+// It returns an error if the combinational logic contains a cycle that does
+// not pass through a register.
+func NewLanes(n *hdl.Netlist) (*LaneSimulator, error) {
+	sorted, drivenRegs, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	plane := hdl.NewLanePlane(n)
+	ls := &LaneSimulator{
+		net:   n,
+		plane: plane,
+		watch: make([][]hdl.LaneWatchFunc, n.NumSignals()),
+		bits:  make([]uint64, (n.NumSignals()+63)/64),
+	}
+
+	ref := func(s *hdl.Signal) laneRef {
+		return laneRef{off: int32(plane.Offset(s)), w: int32(s.Width())}
+	}
+
+	regSlot := make(map[*hdl.Signal]int32, len(drivenRegs))
+	nextWords := int32(0)
+	for i, sig := range drivenRegs {
+		regSlot[sig] = int32(i)
+		ls.regs = append(ls.regs, lreg{sig: sig, planeEl: ref(sig), nextOff: nextWords})
+		nextWords += int32(sig.Width())
+	}
+	ls.next = make([]uint64, nextWords)
+
+	ls.order = make([]lnode, len(sorted))
+	for i, nd := range sorted {
+		c := lnode{regSlot: -1, out: nd.out(), outRef: ref(nd.out())}
+		if slot, ok := regSlot[c.out]; ok {
+			c.regSlot = slot
+		}
+		switch {
+		case nd.mux != nil:
+			c.kind = nkMux
+			c.sel = ref(nd.mux.Sel)
+			c.tval = ref(nd.mux.TVal)
+			c.fval = ref(nd.mux.FVal)
+		case nd.prim != nil:
+			c.kind = nkPrim
+			c.prim = nd.prim
+			ls.spilled++
+		default:
+			c.kind = nkBuf
+			srcs := nd.buf.Sources()
+			c.bufs = make([]laneRef, len(srcs))
+			for k, src := range srcs {
+				c.bufs[k] = ref(src)
+			}
+		}
+		ls.order[i] = c
+	}
+	return ls, nil
+}
+
+// Netlist returns the simulated netlist.
+func (ls *LaneSimulator) Netlist() *hdl.Netlist { return ls.net }
+
+// Plane returns the bit-sliced value plane the simulator evaluates over.
+func (ls *LaneSimulator) Plane() *hdl.LanePlane { return ls.plane }
+
+// Cycle returns the current lane simulation cycle. The lane clock is
+// independent of the netlist's scalar clock (Netlist.Cycle), which stays
+// untouched during lane evaluation.
+func (ls *LaneSimulator) Cycle() int64 { return ls.cycle }
+
+// SpilledNodes returns how many compiled nodes take the scalar spill path
+// (prim nodes). Zero means the whole design bit-slices.
+func (ls *LaneSimulator) SpilledNodes() int { return ls.spilled }
+
+// WatchLanes registers fn to be called whenever the signal's value changes
+// in any lane during Eval or Tick. For one evaluation changing several
+// lanes, fn fires once per changed lane in ascending lane order, after the
+// plane already holds the new words.
+func (ls *LaneSimulator) WatchLanes(s *hdl.Signal, fn hdl.LaneWatchFunc) {
+	id := s.ID()
+	ls.watch[id] = append(ls.watch[id], fn)
+	ls.bits[uint(id)>>6] |= 1 << (uint(id) & 63)
+}
+
+// watched reports whether the signal has at least one lane watch hook.
+func (ls *LaneSimulator) watched(s *hdl.Signal) bool {
+	id := uint(s.ID())
+	return ls.bits[id>>6]&(1<<(id&63)) != 0
+}
+
+// gather assembles lane's value from w bit words.
+func gather(words []uint64, w int32, lane int) uint64 {
+	var v uint64
+	for b := int32(0); b < w; b++ {
+		v |= (words[b] >> uint(lane) & 1) << uint(b)
+	}
+	return v
+}
+
+// dispatch fires the signal's lane watch hooks for every lane whose value
+// differs between oldW and newW, in ascending lane order.
+//
+//sonar:alloc-free
+func (ls *LaneSimulator) dispatch(s *hdl.Signal, oldW, newW []uint64, w int32) {
+	var changed uint64
+	for b := int32(0); b < w; b++ {
+		changed |= oldW[b] ^ newW[b]
+	}
+	if changed == 0 {
+		return
+	}
+	hooks := ls.watch[s.ID()]
+	cyc := ls.cycle
+	for m := changed; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		oldV := gather(oldW, w, lane)
+		newV := gather(newW, w, lane)
+		for _, fn := range hooks {
+			fn(s, lane, oldV, newV, cyc)
+		}
+	}
+}
+
+// commit writes the freshly computed out words (ls.outBuf[:w]) of a
+// combinational node into the plane, dispatching lane watch hooks on change.
+//
+//sonar:alloc-free
+func (ls *LaneSimulator) commit(nd *lnode, W []uint64) {
+	w := nd.outRef.w
+	out := W[nd.outRef.off : nd.outRef.off+w]
+	if !ls.watched(nd.out) {
+		copy(out, ls.outBuf[:w])
+		return
+	}
+	copy(ls.oldBuf[:w], out)
+	copy(out, ls.outBuf[:w])
+	ls.dispatch(nd.out, ls.oldBuf[:w], out, w)
+}
+
+// Eval settles all combinational logic for the current cycle across all
+// lanes. Values destined for registers are staged and only latched by Tick,
+// so register reads always see latched values, exactly as in the scalar
+// evaluator.
+//
+//sonar:alloc-free
+func (ls *LaneSimulator) Eval() {
+	W := ls.plane.Words()
+	vals := ls.net.Values()
+	for i := range ls.order {
+		nd := &ls.order[i]
+		w := nd.outRef.w
+		switch nd.kind {
+		case nkMux:
+			// selMask bit L = "lane L's select is non-zero".
+			var selMask uint64
+			for b := int32(0); b < nd.sel.w; b++ {
+				selMask |= W[nd.sel.off+b]
+			}
+			for b := int32(0); b < w; b++ {
+				var t, f uint64
+				if b < nd.tval.w {
+					t = W[nd.tval.off+b]
+				}
+				if b < nd.fval.w {
+					f = W[nd.fval.off+b]
+				}
+				ls.outBuf[b] = selMask&t | ^selMask&f
+			}
+		case nkPrim:
+			// Scalar spill: run each lane through Prim.Compute on the scalar
+			// plane. The spilled args' scalar values are scratch afterwards.
+			for lane := 0; lane < hdl.Lanes; lane++ {
+				for _, a := range nd.prim.Args {
+					if a.IsConst() {
+						continue
+					}
+					vals[a.ID()] = gather(W[ls.plane.Offset(a):], int32(a.Width()), lane)
+				}
+				ls.laneVals[lane] = nd.prim.Compute()
+			}
+			for b := int32(0); b < w; b++ {
+				var word uint64
+				for lane := 0; lane < hdl.Lanes; lane++ {
+					word |= (ls.laneVals[lane] >> uint(b) & 1) << uint(lane)
+				}
+				ls.outBuf[b] = word
+			}
+		default:
+			for b := int32(0); b < w; b++ {
+				var acc uint64
+				for _, src := range nd.bufs {
+					if b < src.w {
+						acc |= W[src.off+b]
+					}
+				}
+				ls.outBuf[b] = acc
+			}
+		}
+		if nd.regSlot >= 0 {
+			r := &ls.regs[nd.regSlot]
+			copy(ls.next[r.nextOff:r.nextOff+w], ls.outBuf[:w])
+		} else {
+			ls.commit(nd, W)
+		}
+	}
+}
+
+// Tick settles combinational logic, latches registers per lane (firing lane
+// watch hooks at the pre-increment cycle, matching the scalar Tick), and
+// advances the lane clock one cycle.
+//
+//sonar:alloc-free
+func (ls *LaneSimulator) Tick() {
+	ls.Eval()
+	W := ls.plane.Words()
+	for i := range ls.regs {
+		r := &ls.regs[i]
+		w := r.planeEl.w
+		cur := W[r.planeEl.off : r.planeEl.off+w]
+		staged := ls.next[r.nextOff : r.nextOff+w]
+		if !ls.watched(r.sig) {
+			copy(cur, staged)
+			continue
+		}
+		copy(ls.oldBuf[:w], cur)
+		copy(cur, staged)
+		ls.dispatch(r.sig, ls.oldBuf[:w], cur, w)
+	}
+	ls.cycle++
+}
+
+// Run executes n clock cycles.
+func (ls *LaneSimulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		ls.Tick()
+	}
+}
+
+// PokeLane sets a signal by name in one lane.
+func (ls *LaneSimulator) PokeLane(name string, lane int, v uint64) error {
+	sig, err := ls.pokeTarget(name, lane)
+	if err != nil {
+		return err
+	}
+	ls.plane.Set(sig, lane, v)
+	return nil
+}
+
+// PokeAll sets a signal by name in every lane.
+func (ls *LaneSimulator) PokeAll(name string, v uint64) error {
+	sig, err := ls.pokeTarget(name, 0)
+	if err != nil {
+		return err
+	}
+	ls.plane.Broadcast(sig, v)
+	return nil
+}
+
+// PeekLane reads a signal by name in one lane.
+func (ls *LaneSimulator) PeekLane(name string, lane int) (uint64, error) {
+	if lane < 0 || lane >= hdl.Lanes {
+		return 0, fmt.Errorf("sim: peek: lane %d out of range", lane)
+	}
+	sig, ok := ls.net.Signal(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: peek: no signal %q", name)
+	}
+	return ls.plane.Get(sig, lane), nil
+}
+
+func (ls *LaneSimulator) pokeTarget(name string, lane int) (*hdl.Signal, error) {
+	if lane < 0 || lane >= hdl.Lanes {
+		return nil, fmt.Errorf("sim: poke: lane %d out of range", lane)
+	}
+	sig, ok := ls.net.Signal(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: poke: no signal %q", name)
+	}
+	if sig.IsConst() {
+		return nil, fmt.Errorf("sim: poke: %q is a constant", name)
+	}
+	return sig, nil
+}

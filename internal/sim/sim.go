@@ -79,12 +79,13 @@ type Simulator struct {
 	regs  []*hdl.Signal // registers with combinational drivers, by reg slot
 }
 
-// New builds a simulator for the netlist. It returns an error if the
-// combinational logic contains a cycle that does not pass through a
-// register.
-func New(n *hdl.Netlist) (*Simulator, error) {
-	s := &Simulator{net: n}
-
+// levelize collects the combinational elements of the netlist (muxes, prims,
+// buffer wires) and returns them in topological evaluation order, plus the
+// set of registers that have a combinational driver (in signal creation
+// order). It returns an error if the combinational logic contains a cycle
+// that does not pass through a register. Both the scalar and the lane
+// compiler consume this order.
+func levelize(n *hdl.Netlist) (sorted []node, drivenRegs []*hdl.Signal, err error) {
 	var nodes []node
 	producer := make(map[*hdl.Signal]int) // signal -> index into nodes
 	for _, m := range n.Muxes() {
@@ -131,7 +132,7 @@ func New(n *hdl.Netlist) (*Simulator, error) {
 			queue = append(queue, i)
 		}
 	}
-	sorted := make([]node, 0, len(nodes))
+	sorted = make([]node, 0, len(nodes))
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
@@ -146,22 +147,37 @@ func New(n *hdl.Netlist) (*Simulator, error) {
 	if len(sorted) != len(nodes) {
 		for i, d := range indeg {
 			if d > 0 {
-				return nil, fmt.Errorf("sim: combinational cycle through %s", nodes[i].out().Name())
+				return nil, nil, fmt.Errorf("sim: combinational cycle through %s", nodes[i].out().Name())
 			}
 		}
 	}
 
-	// Compile: precompute input ids and register staging slots so the per-
-	// cycle Eval loop touches only flat slices.
-	regSlot := make(map[*hdl.Signal]int32)
 	for _, sig := range n.Signals() {
 		if sig.Kind() != hdl.Reg {
 			continue
 		}
 		if _, ok := producer[sig]; ok {
-			regSlot[sig] = int32(len(s.regs))
-			s.regs = append(s.regs, sig)
+			drivenRegs = append(drivenRegs, sig)
 		}
+	}
+	return sorted, drivenRegs, nil
+}
+
+// New builds a simulator for the netlist. It returns an error if the
+// combinational logic contains a cycle that does not pass through a
+// register.
+func New(n *hdl.Netlist) (*Simulator, error) {
+	sorted, drivenRegs, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{net: n, regs: drivenRegs}
+
+	// Compile: precompute input ids and register staging slots so the per-
+	// cycle Eval loop touches only flat slices.
+	regSlot := make(map[*hdl.Signal]int32, len(drivenRegs))
+	for i, sig := range drivenRegs {
+		regSlot[sig] = int32(i)
 	}
 	s.next = make([]uint64, len(s.regs))
 	s.order = make([]cnode, len(sorted))

@@ -1,0 +1,135 @@
+// Lane-evaluator throughput: the same 64-testcase workload pushed through
+// the scalar simulator one testcase at a time (CampaignLanes1) versus one
+// bit-parallel pass of sim.LaneSimulator with a monitor.LaneBank attached
+// (CampaignLanes64). Both run an identical generated mux-cascade netlist
+// with per-lane stimulus and full contention-point monitoring; the headline
+// metric is lane-cycles per second, and TestMain records the ratio as
+// lanes_speedup in BENCH_campaign.json, where the benchguard lane floor
+// (cmd/sonar-benchguard -lane-speedup) enforces it. See docs/SIMULATOR.md
+// for the evaluation model and docs/PERFORMANCE.md for measured numbers.
+package sonar
+
+import (
+	"testing"
+
+	"sonar/internal/hdl"
+	"sonar/internal/hdl/gen"
+	"sonar/internal/monitor"
+	"sonar/internal/sim"
+	"sonar/internal/trace"
+)
+
+// laneBenchCycles is the per-testcase cycle budget of the lane benchmarks —
+// long enough that per-run setup (monitor reset, window open) is noise.
+const laneBenchCycles = 1024
+
+// laneBenchCfg is the benchmark workload: a mux/buffer cascade with arbiter
+// blocks, the shape the bit-parallel evaluator targets — narrow
+// control-style signals (MaxWidth 4, like the valid/grant logic contention
+// points live in) and no prims (PrimShare < 0 pins the share to zero, so no
+// node spills to the scalar path; spill-heavy netlists degrade toward
+// scalar throughput, see docs/SIMULATOR.md).
+var laneBenchCfg = gen.Config{
+	Seed: 11, Nodes: 384, Regs: 16, Arbiters: 4, MaxWidth: 4, PrimShare: -1,
+}
+
+// laneBenchHold is how many cycles each input vector is held before the
+// next poke. Campaign testcases hold operands over multi-cycle flights; a
+// hold > 1 keeps the benchmark's monitor-event rate in that regime instead
+// of toggling every valid every cycle, so the measurement weights the
+// evaluator rather than per-event bookkeeping (which is identical scalar
+// work on both sides).
+const laneBenchHold = 8
+
+// laneBenchStim is the per-lane input stimulus, an arbitrary mixing hash so
+// every lane drives a distinct testcase through the netlist.
+func laneBenchStim(cycle, lane, input int) uint64 {
+	x := uint64(cycle)<<32 ^ uint64(lane)<<16 ^ uint64(input) ^ 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// genInputs returns n's input signals in creation order.
+func genInputs(n *hdl.Netlist) []*hdl.Signal {
+	var ins []*hdl.Signal
+	for _, s := range n.Signals() {
+		if s.Kind() == hdl.Input {
+			ins = append(ins, s)
+		}
+	}
+	return ins
+}
+
+// BenchmarkCampaignLanes1 is the scalar reference: hdl.Lanes independent
+// testcases, each replayed on its own compiled scalar Simulator with a
+// scalar Monitor attached — the work a campaign does without lane batching.
+func BenchmarkCampaignLanes1(b *testing.B) {
+	var sims [hdl.Lanes]*sim.Simulator
+	var mons [hdl.Lanes]*monitor.Monitor
+	var inputs [hdl.Lanes][]*hdl.Signal
+	for lane := range sims {
+		n, err := gen.New(laneBenchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.New(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sims[lane] = s
+		mons[lane] = monitor.New(trace.Analyze(n), monitor.Config{})
+		inputs[lane] = genInputs(n)
+	}
+	recordThroughput(b, "CampaignLanes1", hdl.Lanes, func() int64 {
+		for lane := 0; lane < hdl.Lanes; lane++ {
+			mons[lane].Reset()
+			mons[lane].SetWindow(true)
+			for c := 0; c < laneBenchCycles; c++ {
+				if c%laneBenchHold == 0 {
+					for ii, in := range inputs[lane] {
+						in.Set(laneBenchStim(c, lane, ii))
+					}
+				}
+				sims[lane].Tick()
+			}
+		}
+		return hdl.Lanes * laneBenchCycles
+	})
+}
+
+// BenchmarkCampaignLanes64 is the bit-parallel side: the same hdl.Lanes
+// testcases evaluated in one LaneSimulator pass with a LaneBank monitoring
+// every lane. Cycle accounting counts lane-cycles (lanes × ticks), so the
+// cycles_per_sec ratio against CampaignLanes1 is the evaluator speedup.
+func BenchmarkCampaignLanes64(b *testing.B) {
+	n, err := gen.New(laneBenchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := sim.NewLanes(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank := monitor.NewLaneBank(trace.Analyze(n), monitor.Config{}, ls)
+	if bank.NumPoints() == 0 {
+		b.Fatal("benchmark netlist has no monitorable points")
+	}
+	inputs := genInputs(n)
+	recordThroughput(b, "CampaignLanes64", hdl.Lanes, func() int64 {
+		bank.Reset()
+		bank.SetWindowAll(true)
+		for c := 0; c < laneBenchCycles; c++ {
+			if c%laneBenchHold == 0 {
+				for lane := 0; lane < hdl.Lanes; lane++ {
+					for ii, in := range inputs {
+						ls.Plane().Set(in, lane, laneBenchStim(c, lane, ii))
+					}
+				}
+			}
+			ls.Tick()
+		}
+		return hdl.Lanes * laneBenchCycles
+	})
+}
