@@ -69,6 +69,7 @@ var checkedMetrics = []struct {
 	{"allocs_per_iter", false},
 }
 
+// load reads one sonar-bench -json output file into its metric rows.
 func load(path string) map[string]row {
 	data, err := os.ReadFile(path)
 	if err != nil {

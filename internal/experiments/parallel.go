@@ -11,7 +11,10 @@ import (
 
 // ParallelResult compares the serial campaign engine against the sharded
 // parallel engine at an equal iteration budget (the scaling experiment the
-// paper's 80-core campaign host implies).
+// paper's 80-core campaign host implies). It measures cross-core scaling
+// only: the per-core bit-parallel lane evaluator (Options.Lanes) is an
+// orthogonal multiplier, gated separately by the CampaignLanes benchmarks
+// (docs/PERFORMANCE.md).
 type ParallelResult struct {
 	Iterations int // iteration budget of both campaigns
 	Workers    int // shard count of the parallel campaign

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"sonar/internal/fuzz"
+)
+
+// Client is a thin HTTP client for the campaign service API, used by
+// cmd/sonar-worker and the service tests.
+type Client struct {
+	// BaseURL is the server's base URL, e.g. "http://127.0.0.1:8714".
+	BaseURL string
+	// HTTPClient is the underlying client; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for a server base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// httpClient returns the effective underlying HTTP client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one API request. A non-nil out is filled from a JSON response
+// body; error bodies become "<status>: <message>" errors.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleet: marshal %s %s body: %w", method, path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// raw issues one GET and returns the raw response body (events, checkpoint
+// downloads).
+func (c *Client) raw(path string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// apiError converts an error response to a Go error carrying the status
+// code and the server's message.
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+// APIError is an error response from the campaign service.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error message.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fleet: server returned %d: %s", e.Status, e.Message)
+}
+
+// Health fetches the server's health summary.
+func (c *Client) Health() (*Health, error) {
+	var h Health
+	if err := c.do("GET", "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Submit submits a campaign spec and returns the new campaign's status.
+func (c *Client) Submit(spec *Spec) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do("POST", "/api/v1/campaigns", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Campaigns lists all campaigns.
+func (c *Client) Campaigns() ([]CampaignStatus, error) {
+	var out []CampaignStatus
+	if err := c.do("GET", "/api/v1/campaigns", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Campaign fetches one campaign's status.
+func (c *Client) Campaign(id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do("GET", "/api/v1/campaigns/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Events downloads a campaign's JSONL event stream so far.
+func (c *Client) Events(id string) ([]byte, error) {
+	return c.raw("/api/v1/campaigns/" + id + "/events")
+}
+
+// Result fetches a finished campaign's result.
+func (c *Client) Result(id string) (*Result, error) {
+	var res Result
+	if err := c.do("GET", "/api/v1/campaigns/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CheckpointFile downloads a fuzz campaign's encoded checkpoint file.
+func (c *Client) CheckpointFile(id string) ([]byte, error) {
+	return c.raw("/api/v1/campaigns/" + id + "/checkpoint")
+}
+
+// Acquire asks for a lease. A nil grant with a nil error means the server
+// has no work to offer right now.
+func (c *Client) Acquire(worker string) (*LeaseGrant, error) {
+	req, err := json.Marshal(acquireRequest{Worker: worker})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/api/v1/leases/acquire", "application/json", bytes.NewReader(req))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode >= 400 {
+		return nil, apiError(resp)
+	}
+	var g LeaseGrant
+	if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// Renew extends an outstanding lease's TTL.
+func (c *Client) Renew(leaseID string) error {
+	return c.do("POST", "/api/v1/leases/"+leaseID+"/renew", struct{}{}, nil)
+}
+
+// Report posts an executed lease's result.
+func (c *Client) Report(leaseID string, res *fuzz.LeaseResult) error {
+	return c.do("POST", "/api/v1/leases/"+leaseID+"/result", res, nil)
+}
+
+// Drain switches the server's lease granting off or back on.
+func (c *Client) Drain(on bool) error {
+	return c.do("POST", "/api/v1/drain", drainRequest{Drain: on}, nil)
+}

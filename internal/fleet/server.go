@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sonar/internal/fuzz"
+)
+
+// Server exposes a Controller over HTTP+JSON. Every endpoint, schema, and
+// error code is documented in docs/SERVICE.md; error bodies are
+// {"error": "..."} with a matching status code.
+type Server struct {
+	ct  *Controller
+	mux *http.ServeMux
+}
+
+// NewServer mounts the API routes for a controller.
+func NewServer(ct *Controller) *Server {
+	s := &Server{ct: ct, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", ct.Metrics().Handler())
+	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleCampaign)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /api/v1/leases/acquire", s.handleAcquire)
+	s.mux.HandleFunc("POST /api/v1/leases/{id}/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /api/v1/leases/{id}/result", s.handleReport)
+	s.mux.HandleFunc("POST /api/v1/drain", s.handleDrain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+// writeErr maps a controller error to its status code.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, errNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, errGone), errors.Is(err, errConflict):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeJSON strictly decodes a request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: body: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ct.Health())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := decodeJSON(r, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := s.ct.Submit(&spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ct.Campaigns())
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	st, err := s.ct.Campaign(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	b, err := s.ct.Events(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.ct.Result(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	b, err := s.ct.Checkpoint(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// acquireRequest is the lease-acquire request body.
+type acquireRequest struct {
+	// Worker is the worker's self-assigned identifier, recorded on the
+	// lease for operator visibility.
+	Worker string `json:"worker"`
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	g, err := s.ct.Acquire(req.Worker)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if g == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+// renewResponse is the lease-renew response body.
+type renewResponse struct {
+	// TTLMillis is the renewed lease's remaining time-to-live.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	ttl, err := s.ct.Renew(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, renewResponse{TTLMillis: ttl.Milliseconds()})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var res fuzz.LeaseResult
+	if err := decodeJSON(r, &res); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.ct.Report(r.PathValue("id"), &res); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "merged"})
+}
+
+// drainRequest is the drain request body.
+type drainRequest struct {
+	// Drain switches lease granting off (true) or back on (false).
+	Drain bool `json:"drain"`
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req drainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.ct.Drain(req.Drain)
+	writeJSON(w, http.StatusOK, map[string]bool{"draining": req.Drain})
+}

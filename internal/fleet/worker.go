@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sonar/internal/fuzz"
+	"sonar/internal/uarch"
+)
+
+// WorkerOptions parameterizes a worker loop.
+type WorkerOptions struct {
+	// ID is the worker's self-assigned identifier, recorded on its leases.
+	ID string
+	// Poll is how long to sleep between acquire attempts when the server
+	// has no work; zero means 500ms.
+	Poll time.Duration
+	// MaxLeases stops the worker after executing this many leases; zero
+	// means run until the context is cancelled.
+	MaxLeases int
+	// Lanes overrides the server's suggested evaluator lane width
+	// (operational; does not affect results). Zero uses the suggestion.
+	Lanes int
+	// DUTs is the worker's DUT registry; nil means Builtins. It must
+	// resolve every name the server grants, i.e. server and workers must
+	// agree on the registry.
+	DUTs map[string]func() *uarch.SoC
+}
+
+// maxAcquireFailures is how many consecutive failed acquire calls a worker
+// tolerates (server restarting, transient network) before giving up.
+const maxAcquireFailures = 50
+
+// RunWorker runs the lease-execution loop against a campaign server until
+// the context is cancelled (returns nil), MaxLeases is reached, or an
+// unrecoverable error occurs. It returns the number of leases executed.
+//
+// The loop is: acquire → elaborate the granted DUT (once per design name —
+// the contention-point analysis is shared across leases) → execute the
+// lease → report. While executing, a background goroutine renews the lease
+// at a third of its TTL so slow batches survive; if a report still races an
+// expiry the server answers 409, the result is discarded, and the re-offered
+// lease re-executes deterministically elsewhere — campaign results are
+// unaffected.
+func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) (int, error) {
+	poll := opt.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	duts := opt.DUTs
+	if duts == nil {
+		duts = Builtins()
+	}
+	factories := make(map[string]func() *fuzz.DUT)
+	executed := 0
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return executed, nil
+		}
+		g, err := client.Acquire(opt.ID)
+		if err != nil {
+			failures++
+			if failures >= maxAcquireFailures {
+				return executed, fmt.Errorf("fleet: worker %s: acquire failed %d times in a row: %w", opt.ID, failures, err)
+			}
+			if !sleep(ctx, poll) {
+				return executed, nil
+			}
+			continue
+		}
+		failures = 0
+		if g == nil {
+			if !sleep(ctx, poll) {
+				return executed, nil
+			}
+			continue
+		}
+
+		f, ok := factories[g.DUT]
+		if !ok {
+			mk, known := duts[g.DUT]
+			if !known {
+				return executed, fmt.Errorf("fleet: worker %s: server granted unknown DUT %q (registry mismatch)", opt.ID, g.DUT)
+			}
+			f = fuzz.SharedAnalysisFactory(mk)
+			factories[g.DUT] = f
+		}
+
+		lanes := opt.Lanes
+		if lanes == 0 {
+			lanes = g.Lanes
+		}
+		stopRenew := renewLoop(client, g)
+		res, err := fuzz.ExecuteLease(f, g.Shape, lanes, &g.Lease)
+		stopRenew()
+		if err != nil {
+			// A lease the engine rejects (shape/corpus mismatch) cannot
+			// succeed on retry either; let it expire and surface the error.
+			return executed, fmt.Errorf("fleet: worker %s: lease %s: %w", opt.ID, g.LeaseID, err)
+		}
+		if err := client.Report(g.LeaseID, res); err != nil {
+			// 409: the lease expired under us and was re-offered; the
+			// result is simply discarded. Anything else is fatal.
+			if ae, ok := err.(*APIError); !ok || ae.Status != 409 {
+				return executed, fmt.Errorf("fleet: worker %s: report lease %s: %w", opt.ID, g.LeaseID, err)
+			}
+		}
+		executed++
+		if opt.MaxLeases > 0 && executed >= opt.MaxLeases {
+			return executed, nil
+		}
+	}
+}
+
+// renewLoop renews a granted lease at a third of its TTL until the returned
+// stop function is called. Renewal errors are ignored: a lost lease just
+// means the eventual report is discarded.
+func renewLoop(client *Client, g *LeaseGrant) func() {
+	interval := time.Duration(g.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = client.Renew(g.LeaseID)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
+// sleep waits d or until the context is cancelled; it reports whether the
+// full duration elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -217,6 +217,12 @@ type worker struct {
 	// hot loop counts locally and flushMutationMetrics publishes one
 	// atomic update per batch instead of several per iteration.
 	mutOffered, mutAccepted int
+	// forceIntvls makes runOne populate outcome.intvls even without local
+	// retention or a local Observer. Lease workers (ExecuteLease) set it:
+	// the coordinating server always attaches an Observer, and the interval
+	// feedback must travel with the outcome for its fold to match a local
+	// observed run byte-for-byte.
+	forceIntvls bool
 }
 
 func newWorker(d *DUT, opt Options, rng *rand.Rand) *worker {
@@ -282,7 +288,7 @@ func (w *worker) runOne() outcome {
 		cycles:    exA.Cycles + exB.Cycles,
 	}
 
-	if w.retention || w.opt.Observer != nil {
+	if w.retention || w.forceIntvls || w.opt.Observer != nil {
 		out.intvls = monitor.MergeMinIntervals(exA.Snap, exB.Snap)
 	}
 

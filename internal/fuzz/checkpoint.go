@@ -65,26 +65,44 @@ func shapeOf(opt Options) Shape {
 	}
 }
 
-// pointIntvl is one per-point best-interval entry. Checkpoints store
-// interval maps as point-sorted slices so the serialized form is
-// byte-deterministic (Go map iteration order is randomized).
-type pointIntvl struct {
-	Point int   `json:"point"`
+// Options returns the Options that re-create the shape's campaign. Callers
+// layer their operational choices (Checkpoint path, Observer, timeouts,
+// Lanes) on top; the returned Workers and BatchSize are the shape's
+// effective values, which normalizeParallel maps to themselves.
+func (s Shape) Options() Options {
+	return Options{
+		Iterations: s.Iterations, Seed: s.Seed,
+		Retention: s.Retention, Selection: s.Selection,
+		DirectedMutation: s.DirectedMutation, DualCore: s.DualCore,
+		SecretA: s.SecretA, SecretB: s.SecretB,
+		KeepFindings: s.KeepFindings, RandomDirection: s.RandomDirection,
+		Workers: s.Workers, BatchSize: s.BatchSize,
+	}
+}
+
+// PointIntvl is one per-point best-interval entry. Checkpoints and the
+// campaign-service wire formats store interval maps as point-sorted slices
+// so the serialized form is byte-deterministic (Go map iteration order is
+// randomized).
+type PointIntvl struct {
+	// Point is the contention point ID.
+	Point int `json:"point"`
+	// Intvl is the best (minimum) distinct-request interval observed.
 	Intvl int64 `json:"intvl"`
 }
 
 // sortIntvls converts an interval map to its canonical checkpoint form.
-func sortIntvls(m map[int]int64) []pointIntvl {
-	out := make([]pointIntvl, 0, len(m))
+func sortIntvls(m map[int]int64) []PointIntvl {
+	out := make([]PointIntvl, 0, len(m))
 	for id, v := range m { //sonar:nondeterministic-ok keys collected then sorted
-		out = append(out, pointIntvl{Point: id, Intvl: v})
+		out = append(out, PointIntvl{Point: id, Intvl: v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
 	return out
 }
 
 // unsortIntvls rebuilds the interval map of a checkpointed slice.
-func unsortIntvls(s []pointIntvl) map[int]int64 {
+func unsortIntvls(s []PointIntvl) map[int]int64 {
 	m := make(map[int]int64, len(s))
 	for _, pi := range s {
 		m[pi.Point] = pi.Intvl
@@ -92,47 +110,132 @@ func unsortIntvls(s []pointIntvl) map[int]int64 {
 	return m
 }
 
-// checkpointSeed is one retained corpus seed in checkpoint form: the
-// testcase in its Marshal (annotated assembly) encoding plus the feedback
-// that earned its place.
-type checkpointSeed struct {
-	TC     string       `json:"tc"`
-	Intvls []pointIntvl `json:"intvls"`
-	Dir    int          `json:"dir"`
-	Target int          `json:"target"`
+// SeedWire is one retained corpus seed in serialized form: the testcase in
+// its Marshal (annotated assembly) encoding plus the feedback that earned
+// its place. Checkpoints and shard-lease payloads share this encoding.
+type SeedWire struct {
+	// TC is the testcase in Testcase.Marshal form.
+	TC string `json:"tc"`
+	// Intvls is the seed's per-point best-interval feedback, point-sorted.
+	Intvls []PointIntvl `json:"intvls"`
+	// Dir is the adaptive mutation direction (+1 grow, -1 shrink).
+	Dir int `json:"dir"`
+	// Target is the contention point the seed was last mutated towards.
+	Target int `json:"target"`
 }
 
-// checkpointCorpus is the global corpus in checkpoint form: the retained
-// seeds in retention order and the per-point global best intervals.
-type checkpointCorpus struct {
-	Seeds []checkpointSeed `json:"seeds"`
-	Best  []pointIntvl     `json:"best"`
+// wireSeed converts a retained seed to its wire form.
+func wireSeed(s *Seed) SeedWire {
+	return SeedWire{TC: s.TC.Marshal(), Intvls: sortIntvls(s.Intvls), Dir: s.Dir, Target: s.Target}
 }
 
-// checkpointStats is Stats in checkpoint form: map fields become sorted
-// slices and finding seeds are stored in their Marshal encoding.
-type checkpointStats struct {
-	PerIteration         []IterStats       `json:"per_iteration"`
-	Findings             []*detect.Finding `json:"findings"`
-	FindingSeeds         []string          `json:"finding_seeds"`
-	Triggered            []int             `json:"triggered"`
-	SingleValidTriggered int               `json:"single_valid_triggered"`
-	EarlyTriggered       int               `json:"early_triggered"`
-	EarlyBreakdown       [][2]int          `json:"early_breakdown"`
-	CorpusSize           int               `json:"corpus_size"`
-	ExecutedCycles       int64             `json:"executed_cycles"`
+// seed rebuilds the in-memory seed of a wire entry.
+func (sw *SeedWire) seed() (*Seed, error) {
+	tc, err := Unmarshal(sw.TC)
+	if err != nil {
+		return nil, err
+	}
+	return &Seed{TC: tc, Intvls: unsortIntvls(sw.Intvls), Dir: sw.Dir, Target: sw.Target}, nil
+}
+
+// CorpusWire is the global corpus in serialized form: the retained seeds in
+// retention order and the per-point global best intervals. It appears in
+// checkpoints and in shard-lease payloads (every lease carries the merged
+// corpus the batch must run against).
+type CorpusWire struct {
+	// Seeds are the retained seeds in retention order.
+	Seeds []SeedWire `json:"seeds"`
+	// Best is the per-point global best interval, point-sorted.
+	Best []PointIntvl `json:"best"`
+}
+
+// newCorpusWire converts a corpus to its wire form.
+func newCorpusWire(c *Corpus) CorpusWire {
+	cw := CorpusWire{Seeds: make([]SeedWire, len(c.seeds)), Best: sortIntvls(c.best)}
+	for i, s := range c.seeds {
+		cw.Seeds[i] = wireSeed(s)
+	}
+	return cw
+}
+
+// corpus rebuilds the in-memory corpus of a wire entry.
+func (cw *CorpusWire) corpus() (*Corpus, error) {
+	c := NewCorpus()
+	c.seeds = make([]*Seed, len(cw.Seeds))
+	for i := range cw.Seeds {
+		s, err := cw.Seeds[i].seed()
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus seed %d: %w", i, err)
+		}
+		c.seeds[i] = s
+	}
+	c.best = unsortIntvls(cw.Best)
+	return c, nil
+}
+
+// StatsWire is Stats in serialized form: map fields become sorted slices
+// and finding seeds are stored in their Marshal encoding. Checkpoints embed
+// it, and the campaign service serves it as a finished campaign's result.
+type StatsWire struct {
+	// PerIteration is the campaign's canonical per-iteration progress series.
+	PerIteration []IterStats `json:"per_iteration"`
+	// Findings are the retained dual-differential findings.
+	Findings []*detect.Finding `json:"findings"`
+	// FindingSeeds are the finding testcases in Testcase.Marshal form,
+	// parallel to Findings.
+	FindingSeeds []string `json:"finding_seeds"`
+	// Triggered is the sorted set of triggered contention point IDs.
+	Triggered []int `json:"triggered"`
+	// SingleValidTriggered mirrors Stats.SingleValidTriggered.
+	SingleValidTriggered int `json:"single_valid_triggered"`
+	// EarlyTriggered mirrors Stats.EarlyTriggered.
+	EarlyTriggered int `json:"early_triggered"`
+	// EarlyBreakdown mirrors Stats.EarlyBreakdown.
+	EarlyBreakdown [][2]int `json:"early_breakdown"`
+	// CorpusSize is the merged corpus size at the capture point.
+	CorpusSize int `json:"corpus_size"`
+	// ExecutedCycles is the total simulated cycle count.
+	ExecutedCycles int64 `json:"executed_cycles"`
 	// Best is the accumulator's per-point best-interval view (the one
 	// backing the best-interval gauges); tracked only when an Observer is
 	// attached, and re-seeded on resume so gauge continuity survives the
 	// restart.
-	Best []pointIntvl `json:"best"`
+	Best []PointIntvl `json:"best"`
+}
+
+// Wire returns the canonical serialized form of the statistics — the same
+// encoding checkpoints embed, minus the observer-only Best view. Because
+// every map is sorted and testcases use their Marshal encoding, equal
+// campaigns produce byte-equal encodings; the campaign service's result
+// endpoint relies on this to compare distributed and local runs.
+func (st *Stats) Wire() StatsWire {
+	s := StatsWire{
+		PerIteration:         append([]IterStats(nil), st.PerIteration...),
+		Findings:             append([]*detect.Finding(nil), st.Findings...),
+		FindingSeeds:         make([]string, len(st.FindingSeeds)),
+		SingleValidTriggered: st.SingleValidTriggered,
+		EarlyTriggered:       st.EarlyTriggered,
+		EarlyBreakdown:       append([][2]int(nil), st.EarlyBreakdown...),
+		CorpusSize:           st.CorpusSize,
+		ExecutedCycles:       st.ExecutedCycles,
+	}
+	for i, tc := range st.FindingSeeds {
+		s.FindingSeeds[i] = tc.Marshal()
+	}
+	s.Triggered = make([]int, 0, len(st.TriggeredPoints))
+	for id := range st.TriggeredPoints { //sonar:nondeterministic-ok keys collected then sorted
+		s.Triggered = append(s.Triggered, id)
+	}
+	sort.Ints(s.Triggered)
+	return s
 }
 
 // Checkpoint is a self-describing snapshot of a parallel campaign at a
 // merge barrier: everything Resume needs to continue the campaign
 // bit-identically — corpus, statistics, per-shard iteration budgets and RNG
 // cursors, and the event-stream position. Produced by campaigns with
-// Options.Checkpoint set and by LoadCheckpoint.
+// Options.Checkpoint set, by LoadCheckpoint, and by the shard-lease
+// coordinator's Snapshot (docs/SERVICE.md).
 type Checkpoint struct {
 	// Version is the checkpoint format version (checkpointVersion).
 	Version int `json:"version"`
@@ -160,67 +263,51 @@ type Checkpoint struct {
 	// a complete checkpoint returns its Stats without executing anything.
 	Complete bool `json:"complete"`
 	// Stats is the accumulated campaign statistics.
-	Stats checkpointStats `json:"stats"`
+	Stats StatsWire `json:"stats"`
 	// Corpus is the merged global corpus.
-	Corpus checkpointCorpus `json:"corpus"`
+	Corpus CorpusWire `json:"corpus"`
+}
+
+// buildCheckpoint assembles a Checkpoint from a campaign position at a
+// merge barrier — the shared serialization path of the in-process
+// coordinator and the shard-lease coordinator.
+func buildCheckpoint(dut string, opt Options, left, round int, rem []int, cursors []uint64, complete bool, acc *statsAccum, global *Corpus) *Checkpoint {
+	cp := &Checkpoint{
+		Version:  checkpointVersion,
+		DUT:      dut,
+		Shape:    shapeOf(opt),
+		Done:     opt.Iterations - left,
+		Round:    round,
+		Rem:      append([]int(nil), rem...),
+		Cursors:  append([]uint64(nil), cursors...),
+		EventSeq: opt.Observer.Seq(),
+		Complete: complete,
+	}
+	cp.Stats = acc.st.Wire()
+	cp.Stats.CorpusSize = global.Len()
+	if acc.best != nil {
+		cp.Stats.Best = sortIntvls(acc.best)
+	}
+	cp.Corpus = newCorpusWire(global)
+	return cp
 }
 
 // snapshot captures the coordinator's position as a Checkpoint. Called only
 // at merge barriers, where workers are quiescent and their corpora equal
 // global.Snapshot().
 func (c *coordinator) snapshot(complete bool) *Checkpoint {
-	cp := &Checkpoint{
-		Version:  checkpointVersion,
-		DUT:      c.dut,
-		Shape:    shapeOf(c.opt),
-		Done:     c.opt.Iterations - c.left,
-		Round:    c.round,
-		Rem:      append([]int(nil), c.rem...),
-		Cursors:  make([]uint64, c.workers),
-		EventSeq: c.opt.Observer.Seq(),
-		Complete: complete,
-	}
+	cursors := make([]uint64, c.workers)
 	for i, w := range c.ws {
 		if w != nil && w.src != nil {
-			cp.Cursors[i] = w.src.cursor()
+			cursors[i] = w.src.cursor()
 		}
 	}
-	st := c.acc.st
-	cp.Stats = checkpointStats{
-		PerIteration:         append([]IterStats(nil), st.PerIteration...),
-		Findings:             append([]*detect.Finding(nil), st.Findings...),
-		FindingSeeds:         make([]string, len(st.FindingSeeds)),
-		SingleValidTriggered: st.SingleValidTriggered,
-		EarlyTriggered:       st.EarlyTriggered,
-		EarlyBreakdown:       append([][2]int(nil), st.EarlyBreakdown...),
-		CorpusSize:           c.global.Len(),
-		ExecutedCycles:       st.ExecutedCycles,
-	}
-	for i, tc := range st.FindingSeeds {
-		cp.Stats.FindingSeeds[i] = tc.Marshal()
-	}
-	cp.Stats.Triggered = make([]int, 0, len(st.TriggeredPoints))
-	for id := range st.TriggeredPoints { //sonar:nondeterministic-ok keys collected then sorted
-		cp.Stats.Triggered = append(cp.Stats.Triggered, id)
-	}
-	sort.Ints(cp.Stats.Triggered)
-	if c.acc.best != nil {
-		cp.Stats.Best = sortIntvls(c.acc.best)
-	}
-	cp.Corpus.Seeds = make([]checkpointSeed, len(c.global.seeds))
-	for i, s := range c.global.seeds {
-		cp.Corpus.Seeds[i] = checkpointSeed{
-			TC: s.TC.Marshal(), Intvls: sortIntvls(s.Intvls),
-			Dir: s.Dir, Target: s.Target,
-		}
-	}
-	cp.Corpus.Best = sortIntvls(c.global.best)
-	return cp
+	return buildCheckpoint(c.dut, c.opt, c.left, c.round, c.rem, cursors, complete, c.acc, c.global)
 }
 
 // stats rebuilds the Stats (and the accumulator's best-interval view) of a
 // checkpoint.
-func (cp *Checkpoint) stats() (*Stats, []pointIntvl, error) {
+func (cp *Checkpoint) stats() (*Stats, []PointIntvl, error) {
 	s := &cp.Stats
 	st := &Stats{
 		PerIteration:         append([]IterStats(nil), s.PerIteration...),
@@ -248,19 +335,10 @@ func (cp *Checkpoint) stats() (*Stats, []pointIntvl, error) {
 
 // corpus rebuilds the global corpus of a checkpoint.
 func (cp *Checkpoint) corpus() (*Corpus, error) {
-	c := NewCorpus()
-	c.seeds = make([]*Seed, len(cp.Corpus.Seeds))
-	for i, cs := range cp.Corpus.Seeds {
-		tc, err := Unmarshal(cs.TC)
-		if err != nil {
-			return nil, fmt.Errorf("fuzz: checkpoint corpus seed %d: %w", i, err)
-		}
-		c.seeds[i] = &Seed{
-			TC: tc, Intvls: unsortIntvls(cs.Intvls),
-			Dir: cs.Dir, Target: cs.Target,
-		}
+	c, err := cp.Corpus.corpus()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: checkpoint %w", err)
 	}
-	c.best = unsortIntvls(cp.Corpus.Best)
 	return c, nil
 }
 
@@ -268,15 +346,7 @@ func (cp *Checkpoint) corpus() (*Corpus, error) {
 // campaign's shape. Callers layer their operational choices (Checkpoint
 // path, Observer, timeouts) on top before passing the result to Resume.
 func (cp *Checkpoint) CampaignOptions() Options {
-	s := cp.Shape
-	return Options{
-		Iterations: s.Iterations, Seed: s.Seed,
-		Retention: s.Retention, Selection: s.Selection,
-		DirectedMutation: s.DirectedMutation, DualCore: s.DualCore,
-		SecretA: s.SecretA, SecretB: s.SecretB,
-		KeepFindings: s.KeepFindings, RandomDirection: s.RandomDirection,
-		Workers: s.Workers, BatchSize: s.BatchSize,
-	}
+	return cp.Shape.Options()
 }
 
 // validate sanity-checks a checkpoint's structural invariants. Load-time
@@ -312,6 +382,19 @@ func (cp *Checkpoint) validate() error {
 		return fmt.Errorf("fuzz: complete checkpoint with %d iterations remaining", rem)
 	}
 	return nil
+}
+
+// Encode returns the checkpoint's file encoding: the CRC-carrying header
+// line followed by the JSON payload — exactly the bytes Save writes, so a
+// stream served by the campaign service's checkpoint endpoint can be saved
+// to a file and passed to LoadCheckpoint unchanged.
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: marshal checkpoint: %w", err)
+	}
+	header := fmt.Sprintf("%s v%d crc32=%08x\n", checkpointMagic, cp.Version, crc32.ChecksumIEEE(payload))
+	return append([]byte(header), payload...), nil
 }
 
 // Save writes the checkpoint atomically (temp file + fsync + rename) and

@@ -1,0 +1,483 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"sonar/internal/detect"
+)
+
+// Shard leases are the distributed-campaign entry points of the fuzzing
+// engine (docs/SERVICE.md): a coordinating server owns the campaign state a
+// local coordinator would hold — per-shard budgets and RNG cursors, the
+// merged corpus, the stats accumulator — and hands out one batch of one
+// shard at a time as a Lease. Any process can execute a lease with
+// ExecuteLease (a pure function of the lease and the campaign shape) and
+// report a LeaseResult back; the LeaseCoordinator folds reports at round
+// barriers in canonical worker order, reusing the exact merge and fold code
+// paths of RunParallel. A distributed campaign over a fixed (Seed, Workers,
+// BatchSize) therefore produces the same final Stats and a byte-identical
+// event stream to a local run — TestLeaseCoordinatorMatchesRunParallel pins
+// this, and the service integration tests extend it across HTTP.
+
+// Lease is one shard-batch work assignment: everything a worker needs —
+// beyond the campaign shape, which the service hands out alongside — to
+// execute the batch exactly as a local shard worker would have.
+type Lease struct {
+	// Shard is the worker index the batch belongs to (0-based); it fixes
+	// the RNG stream (Seed+Shard) like a local worker index does.
+	Shard int `json:"shard"`
+	// Round is the 1-based merge round the batch belongs to.
+	Round int `json:"round"`
+	// N is the number of iterations to execute.
+	N int `json:"n"`
+	// Cursor is the shard's pre-batch RNG draw count; the executor replays
+	// the shard generator to it, exactly like a replacement worker after a
+	// local fault.
+	Cursor uint64 `json:"cursor"`
+	// Corpus is the merged global corpus as of the previous round barrier.
+	Corpus CorpusWire `json:"corpus"`
+}
+
+// OutcomeWire is one iteration outcome in serialized form — the unit a
+// LeaseResult carries back to the coordinator.
+type OutcomeWire struct {
+	// TC is the executed testcase in Testcase.Marshal form.
+	TC string `json:"tc"`
+	// Triggered is the contention points triggered by the double execution,
+	// in execution order (the fold deduplicates against the global set).
+	Triggered []int `json:"triggered,omitempty"`
+	// Finding is the dual-differential finding, if any.
+	Finding *detect.Finding `json:"finding,omitempty"`
+	// Cycles is the double execution's total simulated cycle count.
+	Cycles int64 `json:"cycles"`
+	// Intvls is the merged per-point best distinct-request interval of the
+	// double execution, point-sorted.
+	Intvls []PointIntvl `json:"intvls,omitempty"`
+}
+
+// wireOutcome converts one outcome to its wire form.
+func wireOutcome(o *outcome) OutcomeWire {
+	return OutcomeWire{
+		TC:        o.tc.Marshal(),
+		Triggered: o.triggered,
+		Finding:   o.finding,
+		Cycles:    o.cycles,
+		Intvls:    sortIntvls(o.intvls),
+	}
+}
+
+// outcome rebuilds the in-memory outcome of a wire entry.
+func (ow *OutcomeWire) outcome() (outcome, error) {
+	tc, err := Unmarshal(ow.TC)
+	if err != nil {
+		return outcome{}, err
+	}
+	return outcome{
+		tc:        tc,
+		triggered: ow.Triggered,
+		finding:   ow.Finding,
+		cycles:    ow.Cycles,
+		intvls:    unsortIntvls(ow.Intvls),
+	}, nil
+}
+
+// LeaseResult is a worker's report for one executed lease: the batch's
+// outcomes in execution order, the seeds the batch retained (in retention
+// order), and the shard's post-batch RNG cursor. Its JSON encoding is
+// deterministic (testcases in Marshal form, interval maps point-sorted), so
+// re-executing the same lease produces byte-equal results — the property
+// that makes lease re-offers after worker churn safe.
+type LeaseResult struct {
+	// Shard echoes the lease's shard index.
+	Shard int `json:"shard"`
+	// Round echoes the lease's merge round.
+	Round int `json:"round"`
+	// Cursor is the shard's post-batch RNG draw count.
+	Cursor uint64 `json:"cursor"`
+	// Outcomes are the batch's iteration outcomes in execution order.
+	Outcomes []OutcomeWire `json:"outcomes"`
+	// Seeds are the corpus seeds the batch retained, in retention order.
+	Seeds []SeedWire `json:"seeds"`
+}
+
+// ExecuteLease runs one shard-batch lease to completion and returns its
+// result. It is a pure function of (shape, lanes, lease): it builds a fresh
+// shard worker with the lease's RNG cursor replayed and the lease's corpus
+// installed — exactly the state a local replacement worker re-derives after
+// a fault — and drains the batch through the same runBatch path local
+// workers use. Executing the same lease twice returns equal results, so a
+// lease lost to worker churn can simply be re-offered.
+//
+// lanes is the evaluator batch width (Options.Lanes), an operational knob
+// that may differ per worker without changing any result.
+func ExecuteLease(newDUT func() *DUT, shape Shape, lanes int, l *Lease) (*LeaseResult, error) {
+	if l.Shard < 0 || l.Shard >= shape.Workers {
+		return nil, fmt.Errorf("fuzz: lease shard %d out of range (campaign has %d workers)", l.Shard, shape.Workers)
+	}
+	if l.N < 1 || l.N > shape.BatchSize {
+		return nil, fmt.Errorf("fuzz: lease batch of %d iterations outside [1, %d]", l.N, shape.BatchSize)
+	}
+	corpus, err := l.Corpus.corpus()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: lease corpus: %w", err)
+	}
+	opt := shape.Options()
+	opt.Lanes = lanes
+	w := newShardWorker(l.Shard, newDUT(), opt, l.Cursor)
+	w.corpus = corpus
+	w.forceIntvls = true
+	outs := w.runBatch(nil, l.N, l.Round)
+
+	res := &LeaseResult{
+		Shard:    l.Shard,
+		Round:    l.Round,
+		Cursor:   w.src.cursor(),
+		Outcomes: make([]OutcomeWire, len(outs)),
+	}
+	for i := range outs {
+		res.Outcomes[i] = wireOutcome(&outs[i])
+	}
+	for _, s := range w.takeNewSeeds() {
+		res.Seeds = append(res.Seeds, wireSeed(s))
+	}
+	return res, nil
+}
+
+// leaseReport is one shard's decoded report for the open round.
+type leaseReport struct {
+	outs   []outcome
+	seeds  []*Seed
+	cursor uint64
+}
+
+// LeaseCoordinator is the server half of a distributed campaign: it owns
+// the state RunParallel's coordinator would hold and advances it one
+// reported lease at a time. Each merge round, every shard with remaining
+// budget is open for exactly one lease; once every open shard has either
+// reported (Report) or been abandoned (Abandon), the round closes — budget
+// accounting and corpus merging in canonical worker order, then the stats
+// fold and event emission in exactly RunParallel's fold order. Fixed (Seed,
+// Workers, BatchSize) topology therefore yields a byte-identical event
+// stream and identical Stats to a local run.
+//
+// The coordinator is not safe for concurrent use; callers (the campaign
+// service's controller) serialize access.
+type LeaseCoordinator struct {
+	opt     Options
+	dut     string // netlist name, for checkpoints and campaign_start
+	workers int
+	batch   int
+	rem     []int    // remaining iterations per shard
+	cursors []uint64 // RNG draw count per shard, as of the last barrier
+	left    int      // total remaining iterations
+	round   int      // merge rounds completed
+
+	acc    *statsAccum
+	global *Corpus
+
+	// Open-round state, reset at each barrier.
+	reported  []*leaseReport // per shard; non-nil = reported this round
+	abandoned [][]string     // per shard; non-nil = abandoned this round, with its failure reasons
+	finished  bool
+}
+
+// NewLeaseCoordinator opens a distributed campaign: it splits opt's
+// iteration budget into static shards exactly like RunParallel and emits
+// the campaign_start event through opt.Observer. d is the server's own DUT
+// instance — it backs the stats fold (point analysis) and is never
+// executed; workers bring their own DUTs.
+func NewLeaseCoordinator(d *DUT, opt Options) *LeaseCoordinator {
+	workers, batch := normalizeParallel(opt)
+	rem := make([]int, workers)
+	for i := range rem {
+		rem[i] = opt.Iterations / workers
+		if i < opt.Iterations%workers {
+			rem[i]++
+		}
+	}
+	lc := &LeaseCoordinator{
+		opt: opt, dut: d.Analysis.Netlist.Name(),
+		workers: workers, batch: batch,
+		rem: rem, cursors: make([]uint64, workers), left: opt.Iterations,
+		acc: newStatsAccum(d, opt), global: NewCorpus(),
+		reported:  make([]*leaseReport, workers),
+		abandoned: make([][]string, workers),
+	}
+	opt.Observer.CampaignStart(lc.dut, opt.Iterations, workers, batch, opt.Seed)
+	if lc.left == 0 {
+		lc.finish()
+	}
+	return lc
+}
+
+// ResumeLeaseCoordinator reopens a distributed campaign from a checkpoint
+// (the lease-granular analog of Resume). opt must describe the same
+// campaign shape as the checkpoint; the resumed coordinator's remaining
+// rounds — Stats and event stream included — are identical to the
+// uninterrupted campaign's.
+func ResumeLeaseCoordinator(d *DUT, opt Options, cp *Checkpoint) (*LeaseCoordinator, error) {
+	if err := cp.validate(); err != nil {
+		return nil, err
+	}
+	if got, want := shapeOf(opt), cp.Shape; got != want {
+		return nil, fmt.Errorf("fuzz: resume shape mismatch: options %+v vs checkpoint %+v", got, want)
+	}
+	st, best, err := cp.stats()
+	if err != nil {
+		return nil, err
+	}
+	global, err := cp.corpus()
+	if err != nil {
+		return nil, err
+	}
+	workers, batch := normalizeParallel(opt)
+	acc := newStatsAccum(d, opt)
+	acc.st = st
+	if acc.best != nil {
+		for _, pi := range best {
+			acc.best[pi.Point] = pi.Intvl
+		}
+	}
+	var lastIter IterStats
+	if n := len(st.PerIteration); n > 0 {
+		lastIter = st.PerIteration[n-1]
+	}
+	opt.Observer.CampaignResumed(cp.EventSeq, len(st.PerIteration),
+		lastIter.CumPoints, lastIter.CumTimingDiffs, len(st.Findings),
+		global.Len(), st.ExecutedCycles)
+
+	lc := &LeaseCoordinator{
+		opt: opt, dut: cp.DUT,
+		workers: workers, batch: batch,
+		rem:     append([]int(nil), cp.Rem...),
+		cursors: append([]uint64(nil), cp.Cursors...),
+		left:    sum(cp.Rem), round: cp.Round,
+		acc: acc, global: global,
+		reported:  make([]*leaseReport, workers),
+		abandoned: make([][]string, workers),
+	}
+	if cp.Complete {
+		lc.acc.st.CorpusSize = lc.global.Len()
+		lc.finished = true // campaign_end was already emitted by the original run
+	} else if lc.left == 0 {
+		lc.finish()
+	}
+	return lc, nil
+}
+
+// Shape returns the campaign's shape (effective workers and batch size
+// included) — what lease executors pass to ExecuteLease.
+func (lc *LeaseCoordinator) Shape() Shape { return shapeOf(lc.opt) }
+
+// DUT returns the netlist name of the device under test.
+func (lc *LeaseCoordinator) DUT() string { return lc.dut }
+
+// Finished reports whether the campaign has drained (or dropped) its whole
+// iteration budget and emitted campaign_end.
+func (lc *LeaseCoordinator) Finished() bool { return lc.finished }
+
+// Round returns the number of completed merge rounds.
+func (lc *LeaseCoordinator) Round() int { return lc.round }
+
+// Position returns the campaign position in iterations: executed plus
+// dropped by abandoned shards, as of the last round barrier.
+func (lc *LeaseCoordinator) Position() int { return lc.opt.Iterations - lc.left }
+
+// Stats returns the accumulated campaign statistics as of the last round
+// barrier. The result is final once Finished reports true; before that it
+// is a live view that later rounds extend.
+func (lc *LeaseCoordinator) Stats() *Stats { return lc.acc.st }
+
+// CorpusLen returns the merged global corpus size as of the last round
+// barrier (Stats.CorpusSize is only set at campaign end).
+func (lc *LeaseCoordinator) CorpusLen() int { return lc.global.Len() }
+
+// OpenShards returns the shards of the current round that still need a
+// lease executed: remaining budget, not yet reported, not abandoned. An
+// empty result means the campaign is finished (the round barrier closes as
+// the last open shard resolves).
+func (lc *LeaseCoordinator) OpenShards() []int {
+	var open []int
+	for i := 0; i < lc.workers; i++ {
+		if lc.openShard(i) {
+			open = append(open, i)
+		}
+	}
+	return open
+}
+
+func (lc *LeaseCoordinator) openShard(i int) bool {
+	return !lc.finished && lc.rem[i] > 0 && lc.reported[i] == nil && lc.abandoned[i] == nil
+}
+
+// Lease builds the work assignment for an open shard of the current round.
+// The same lease may be built (and executed) any number of times — results
+// are deterministic — which is how the service re-offers leases lost to
+// worker churn.
+func (lc *LeaseCoordinator) Lease(shard int) (*Lease, error) {
+	if shard < 0 || shard >= lc.workers {
+		return nil, fmt.Errorf("fuzz: shard %d out of range (campaign has %d workers)", shard, lc.workers)
+	}
+	if !lc.openShard(shard) {
+		return nil, fmt.Errorf("fuzz: shard %d has no open lease this round", shard)
+	}
+	n := lc.rem[shard]
+	if n > lc.batch {
+		n = lc.batch
+	}
+	return &Lease{
+		Shard:  shard,
+		Round:  lc.round + 1,
+		N:      n,
+		Cursor: lc.cursors[shard],
+		Corpus: newCorpusWire(lc.global),
+	}, nil
+}
+
+// Report folds one executed lease's result in. The result must belong to an
+// open shard of the current round and carry exactly the leased batch size;
+// a malformed or stale result is rejected without touching campaign state.
+// When the last open shard of the round resolves, the round barrier closes:
+// seeds merge into the global corpus in canonical worker order, outcomes
+// fold into Stats, and the round's events are emitted.
+func (lc *LeaseCoordinator) Report(res *LeaseResult) error {
+	if res == nil {
+		return fmt.Errorf("fuzz: nil lease result")
+	}
+	if res.Shard < 0 || res.Shard >= lc.workers {
+		return fmt.Errorf("fuzz: lease result for shard %d out of range (campaign has %d workers)", res.Shard, lc.workers)
+	}
+	if res.Round != lc.round+1 {
+		return fmt.Errorf("fuzz: lease result for round %d, campaign is at round %d", res.Round, lc.round+1)
+	}
+	if !lc.openShard(res.Shard) {
+		return fmt.Errorf("fuzz: shard %d has no open lease this round", res.Shard)
+	}
+	want := lc.rem[res.Shard]
+	if want > lc.batch {
+		want = lc.batch
+	}
+	if len(res.Outcomes) != want {
+		return fmt.Errorf("fuzz: lease result carries %d outcomes, lease was for %d", len(res.Outcomes), want)
+	}
+	rep := &leaseReport{cursor: res.Cursor, outs: make([]outcome, len(res.Outcomes))}
+	for i := range res.Outcomes {
+		o, err := res.Outcomes[i].outcome()
+		if err != nil {
+			return fmt.Errorf("fuzz: lease result outcome %d: %w", i, err)
+		}
+		rep.outs[i] = o
+	}
+	for i := range res.Seeds {
+		s, err := res.Seeds[i].seed()
+		if err != nil {
+			return fmt.Errorf("fuzz: lease result seed %d: %w", i, err)
+		}
+		rep.seeds = append(rep.seeds, s)
+	}
+	lc.reported[res.Shard] = rep
+	lc.maybeCloseRound()
+	return nil
+}
+
+// Abandon drops an open shard from the current round after its lease
+// repeatedly failed: the shard's remaining budget is removed from the
+// campaign at the round barrier, and the barrier's fold emits one
+// worker_failed event per reason (the failed attempts, in order) followed
+// by the abandonment disposition — the same degraded-but-deterministic
+// completion a local campaign reaches when a shard exhausts its retries.
+func (lc *LeaseCoordinator) Abandon(shard int, reasons []string) error {
+	if shard < 0 || shard >= lc.workers {
+		return fmt.Errorf("fuzz: shard %d out of range (campaign has %d workers)", shard, lc.workers)
+	}
+	if !lc.openShard(shard) {
+		return fmt.Errorf("fuzz: shard %d has no open lease this round", shard)
+	}
+	if len(reasons) == 0 {
+		return fmt.Errorf("fuzz: abandoning shard %d without failure reasons", shard)
+	}
+	lc.abandoned[shard] = reasons
+	lc.maybeCloseRound()
+	return nil
+}
+
+// maybeCloseRound closes the round barrier once no shard is still open.
+func (lc *LeaseCoordinator) maybeCloseRound() {
+	for i := 0; i < lc.workers; i++ {
+		if lc.openShard(i) {
+			return
+		}
+	}
+	lc.closeRound()
+}
+
+// closeRound is the merge barrier: budget accounting, cursor advances, and
+// seed re-offers in canonical worker order (runRound's barrier phase), then
+// fault events, the per-shard stats fold, and batch_merged in exactly the
+// order coordinator.fold uses — so the emitted stream matches a local run's
+// byte-for-byte.
+func (lc *LeaseCoordinator) closeRound() {
+	lc.round++
+	merged := 0
+	dropped := make([]int, lc.workers)
+	for i := 0; i < lc.workers; i++ {
+		if lc.abandoned[i] != nil {
+			dropped[i] = lc.rem[i]
+			lc.left -= lc.rem[i]
+			lc.rem[i] = 0
+			continue
+		}
+		rep := lc.reported[i]
+		if rep == nil {
+			continue // shard had no budget this round
+		}
+		n := len(rep.outs)
+		lc.rem[i] -= n
+		lc.left -= n
+		merged += n
+		lc.cursors[i] = rep.cursor
+		for _, s := range rep.seeds {
+			lc.global.Offer(s.TC, s.Intvls, s.Dir, s.Target)
+		}
+	}
+	for i := 0; i < lc.workers; i++ {
+		reasons := lc.abandoned[i]
+		for a, reason := range reasons {
+			lc.opt.Observer.WorkerFailed(i, lc.round, a+1, reason)
+		}
+		if reasons != nil {
+			lc.opt.Observer.WorkerFailed(i, lc.round, abandonAttempt,
+				fmt.Sprintf("shard abandoned after %d failed attempts; %d iterations dropped", len(reasons), dropped[i]))
+		}
+	}
+	for i := 0; i < lc.workers; i++ {
+		if rep := lc.reported[i]; rep != nil {
+			lc.acc.applyAll(rep.outs)
+		}
+	}
+	lc.opt.Observer.BatchMerged(lc.round, merged, lc.global.Len(), 0)
+
+	for i := range lc.reported {
+		lc.reported[i] = nil
+		lc.abandoned[i] = nil
+	}
+	if lc.left == 0 {
+		lc.finish()
+	}
+}
+
+// finish finalizes the campaign: corpus size lands in Stats and
+// campaign_end is emitted, exactly like a local run's completion.
+func (lc *LeaseCoordinator) finish() {
+	lc.acc.st.CorpusSize = lc.global.Len()
+	lc.acc.finish()
+	lc.finished = true
+}
+
+// Snapshot captures the campaign as a Checkpoint at the last closed round
+// barrier. Reports received for the still-open round are not included —
+// resuming the snapshot re-opens that round, and its leases simply
+// re-execute (deterministically) — so a snapshot may be taken at any time.
+func (lc *LeaseCoordinator) Snapshot(complete bool) *Checkpoint {
+	return buildCheckpoint(lc.dut, lc.opt, lc.left, lc.round, lc.rem, lc.cursors, complete, lc.acc, lc.global)
+}

@@ -11,11 +11,17 @@
 //     fields — must carry a doc comment. Unexported receivers are skipped
 //     (their exported methods are usually interface plumbing); const/var
 //     specs accept the declaration group's comment or a trailing line
-//     comment.
+//     comment;
+//   - within cmd packages, every top-level declaration — functions,
+//     methods, types, consts, and vars, exported or not, since nothing in
+//     a main package is importable — must carry a doc comment. main and
+//     init are exempt (the package comment is their documentation); the
+//     struct-field floor stays internal-only.
 //
 // Where sonar-doclint covered exported identifiers only in internal/fuzz
 // and internal/obs, this analyzer holds every internal package to the same
-// floor. Test files are exempt.
+// floor and every command to the top-level-declaration floor. Test files
+// are exempt.
 package exporteddoc
 
 import (
@@ -38,6 +44,11 @@ func internalPkg(path string) bool {
 	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
 }
 
+// cmdPkg reports whether the import path is under a cmd/ tree.
+func cmdPkg(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	// Split off test files; the floor applies to the shipped surface.
 	var files []*ast.File
@@ -55,12 +66,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 
 	name := pass.Pkg.Name()
 	internal := internalPkg(pass.Pkg.Path())
+	cmd := cmdPkg(pass.Pkg.Path())
 	if internal || name == "main" {
 		checkPackageDoc(pass, files, name, internal)
 	}
-	if internal {
+	if internal || cmd {
 		for _, f := range files {
-			checkFileIdentifiers(pass, f)
+			checkFileIdentifiers(pass, f, cmd && !internal)
 		}
 	}
 	return nil, nil
@@ -97,12 +109,30 @@ func checkPackageDoc(pass *analysis.Pass, files []*ast.File, name string, strict
 	}
 }
 
-// checkFileIdentifiers applies the exported-identifier floor to one file.
-func checkFileIdentifiers(pass *analysis.Pass, f *ast.File) {
+// checkFileIdentifiers applies the identifier documentation floor to one
+// file: the exported-identifier floor for internal packages, or — with cmd
+// set — the top-level-declaration floor for command packages (every
+// declaration regardless of case, main and init exempt).
+func checkFileIdentifiers(pass *analysis.Pass, f *ast.File, cmd bool) {
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
-			if !d.Name.IsExported() || d.Doc != nil {
+			if d.Doc != nil {
+				continue
+			}
+			if cmd {
+				if d.Recv == nil && (d.Name.Name == "main" || d.Name.Name == "init") {
+					continue
+				}
+				if d.Recv != nil {
+					recv, _ := receiverName(d.Recv)
+					pass.Reportf(d.Pos(), "method %s.%s has no doc comment", recv, d.Name.Name)
+				} else {
+					pass.Reportf(d.Pos(), "function %s has no doc comment", d.Name.Name)
+				}
+				continue
+			}
+			if !d.Name.IsExported() {
 				continue
 			}
 			if d.Recv != nil {
@@ -115,22 +145,31 @@ func checkFileIdentifiers(pass *analysis.Pass, f *ast.File) {
 				pass.Reportf(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
 			}
 		case *ast.GenDecl:
-			checkGenDecl(pass, d)
+			checkGenDecl(pass, d, cmd)
 		}
 	}
 }
 
-// checkGenDecl checks the exported types, consts, vars, and struct fields
-// of one declaration group.
-func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl) {
+// checkGenDecl checks the types, consts, vars — and, for internal
+// packages, exported struct fields — of one declaration group. With cmd
+// set, every spec needs documentation regardless of case and the
+// struct-field floor is waived.
+func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl, cmd bool) {
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
-			if !s.Name.IsExported() {
+			if !cmd && !s.Name.IsExported() {
 				continue
 			}
 			if d.Doc == nil && s.Doc == nil {
-				pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				if cmd {
+					pass.Reportf(s.Pos(), "type %s has no doc comment", s.Name.Name)
+				} else {
+					pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				}
+			}
+			if cmd {
+				continue
 			}
 			if st, ok := s.Type.(*ast.StructType); ok {
 				for _, field := range st.Fields.List {
@@ -153,7 +192,9 @@ func checkGenDecl(pass *analysis.Pass, d *ast.GenDecl) {
 				kind = "const"
 			}
 			for _, n := range s.Names {
-				if n.IsExported() {
+				if cmd {
+					pass.Reportf(s.Pos(), "%s %s has no doc comment", kind, n.Name)
+				} else if n.IsExported() {
 					pass.Reportf(s.Pos(), "exported %s %s has no doc comment", kind, n.Name)
 				}
 			}

@@ -20,6 +20,7 @@ func TestExportedDoc(t *testing.T) {
 		"sonar/internal/nopkgdoc",   // missing package comment
 		"sonar/internal/wrongdoc",   // wrong package-comment opening
 		"sonar/cmd/nodoccmd",        // main packages need a comment too
+		"sonar/cmd/gapcmd",          // cmd packages carry the top-level-declaration floor
 	)
 }
 
@@ -64,6 +65,28 @@ const Tight = 3
 	}
 	if len(diags) != len(wantSubstrings) {
 		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(wantSubstrings), messages(diags))
+	}
+}
+
+// TestCmdValueSpecs covers the cmd-floor const/var rule, which cannot ride
+// through want-comment fixtures for the same trailing-comment reason.
+func TestCmdValueSpecs(t *testing.T) {
+	const src = `// Command valcmd is an inline fixture.
+package main
+
+const retries = 2
+
+var addr = ":0" // documented by a trailing comment
+
+// seed is documented.
+var seed = int64(1)
+
+func main() {}
+`
+	diags := analyzeSrc(t, "sonar/cmd/valcmd", src)
+	want := "const retries has no doc comment"
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, want) {
+		t.Errorf("got %v, want exactly one diagnostic containing %q", messages(diags), want)
 	}
 }
 

@@ -1,0 +1,31 @@
+// Command gapcmd is the cmd-floor fixture: every top-level declaration
+// needs a doc comment, exported or not; main and init are exempt.
+package main
+
+// limit is documented.
+const limit = 3
+
+// verbose is documented (the undocumented const/var case is inline in
+// TestCmdValueSpecs — a trailing want-comment would count as doc).
+var verbose = false
+
+// report is documented.
+type report struct {
+	rows int // cmd packages carry no struct-field floor
+}
+
+type tally struct{} // want `type tally has no doc comment`
+
+// String is documented.
+func (tally) String() string { return "" }
+
+func (report) lines() int { return 0 } // want `method report.lines has no doc comment`
+
+func load(path string) error { return nil } // want `function load has no doc comment`
+
+// run is documented.
+func run() error { return load("") }
+
+func init() { verbose = false }
+
+func main() { _ = run() }
