@@ -163,10 +163,13 @@ type campaignResult struct {
 	// efficiency floor checks. Zero when CampaignParallel1 was not measured
 	// in the same run.
 	ScalingVsParallel1 float64 `json:"scaling_vs_parallel1"`
-	// LanesSpeedup is CampaignLanes64's cycles_per_sec over the same run's
-	// CampaignLanes1 — the bit-parallel evaluator's speedup over 64 scalar
-	// replays of the same workload, enforced by the benchguard lane floor.
-	// Recorded only on the CampaignLanes64 entry.
+	// LanesSpeedup is a wide lane entry's cycles_per_sec over the same run's
+	// scalar entry of the same workload: CampaignLanes64 over CampaignLanes1
+	// (the bit-parallel evaluator vs 64 scalar replays) and
+	// CampaignNetlistLanes64 over CampaignNetlistLanes1 (a full lane-group
+	// campaign vs the same campaign at Lanes=1). Enforced by the benchguard
+	// lane floors (-lane-speedup, -campaign-lane-speedup). Recorded only on
+	// the wide entries.
 	LanesSpeedup float64 `json:"lanes_speedup,omitempty"`
 }
 
@@ -200,12 +203,19 @@ func TestMain(m *testing.M) {
 			}
 		}
 	}
-	// Lane speedup: the bit-parallel evaluator's cycle throughput relative
-	// to 64 scalar replays from the same run (see lane_bench_test.go).
-	if l1, ok := campaignResults["CampaignLanes1"]; ok && l1.CyclesPerSec > 0 {
-		if l64, ok := campaignResults["CampaignLanes64"]; ok {
-			l64.LanesSpeedup = l64.CyclesPerSec / l1.CyclesPerSec
-			campaignResults["CampaignLanes64"] = l64
+	// Lane speedups: each wide entry's cycle throughput relative to the
+	// scalar entry of the same workload from the same run — the evaluator
+	// ratio for the CampaignLanes micro pair, the end-to-end campaign ratio
+	// for the CampaignNetlistLanes pair (see lane_bench_test.go).
+	for _, pair := range [][2]string{
+		{"CampaignLanes1", "CampaignLanes64"},
+		{"CampaignNetlistLanes1", "CampaignNetlistLanes64"},
+	} {
+		if l1, ok := campaignResults[pair[0]]; ok && l1.CyclesPerSec > 0 {
+			if lw, ok := campaignResults[pair[1]]; ok {
+				lw.LanesSpeedup = lw.CyclesPerSec / l1.CyclesPerSec
+				campaignResults[pair[1]] = lw
+			}
 		}
 	}
 	if len(campaignResults) > 0 {

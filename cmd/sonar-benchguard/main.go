@@ -27,8 +27,14 @@
 // from the same run (lanes_speedup), and the gate requires at least
 // -lane-speedup (default 4x) — the 64-testcases-per-word evaluator must
 // actually outrun 64 scalar replays of the same workload, or the lane
-// engine has regressed to scalar spill. Files without lane entries skip
-// the check.
+// engine has regressed to scalar spill. The CampaignNetlistLanes pair is
+// gated the same way at -campaign-lane-speedup (default 8x): a full
+// netlist-backed fuzzing campaign at Lanes=64 must outrun the same
+// campaign at Lanes=1, so the evaluator win survives end-to-end campaign
+// overhead. Files without lane entries skip the checks — unless the
+// baseline entry records lanes_speedup, in which case a current entry
+// missing the metric fails (metric parity: a silently dropped recording
+// must not pass the gate).
 //
 // Usage:
 //
@@ -141,34 +147,45 @@ func checkScaling(cur map[string]row, efficiency float64) bool {
 	return ok
 }
 
-// checkLanes enforces the bit-parallel evaluator's speedup floor on the
-// current results. Like scaling, this is a property of the run, not the
-// baseline: lanes_speedup is CampaignLanes64's cycles_per_sec over the same
-// run's CampaignLanes1 (re-derived from those entries when the field is
-// absent). It returns false on a violation.
-func checkLanes(cur map[string]row, minSpeedup float64) bool {
-	c, ok := cur["CampaignLanes64"]
+// checkLanes enforces one lane-speedup floor on the current results: wide's
+// lanes_speedup — its cycles_per_sec over the same run's scalar entry,
+// re-derived from those entries when neither file records the field — must
+// reach minSpeedup. The ratio itself is a property of the run, not the
+// baseline; the baseline's only say is metric parity: a baseline entry that
+// records lanes_speedup pins the metric's presence, so a current file whose
+// entry silently dropped it fails instead of sailing through on a
+// re-derivation (the recording pipeline broke, which is itself a
+// regression). It returns false on a violation.
+func checkLanes(cur, base map[string]row, scalar, wide string, minSpeedup float64) bool {
+	c, ok := cur[wide]
 	if !ok {
-		fmt.Println("skip lanes: no CampaignLanes64 entry to check")
+		fmt.Printf("skip lanes: no %s entry to check\n", wide)
 		return true
+	}
+	if b, inBase := base[wide]; inBase {
+		if _, ok := b["lanes_speedup"]; ok {
+			if _, ok := c["lanes_speedup"]; !ok {
+				fmt.Printf("FAIL %-22s lanes_speedup present in baseline but missing from current results\n", wide)
+				return false
+			}
+		}
 	}
 	ratio := c["lanes_speedup"]
 	if ratio == 0 {
-		if base, ok := cur["CampaignLanes1"]; ok && base["cycles_per_sec"] > 0 {
-			ratio = c["cycles_per_sec"] / base["cycles_per_sec"]
+		if s, ok := cur[scalar]; ok && s["cycles_per_sec"] > 0 {
+			ratio = c["cycles_per_sec"] / s["cycles_per_sec"]
 		}
 	}
 	if ratio == 0 {
-		fmt.Printf("FAIL %-20s no lanes_speedup recorded and no CampaignLanes1 to derive it from\n",
-			"CampaignLanes64")
+		fmt.Printf("FAIL %-22s no lanes_speedup recorded and no %s to derive it from\n", wide, scalar)
 		return false
 	}
 	status := "ok  "
 	if ratio < minSpeedup {
 		status = "FAIL"
 	}
-	fmt.Printf("%s %-20s %5.2fx cycles/sec vs CampaignLanes1 (floor %.2fx)\n",
-		status, "CampaignLanes64", ratio, minSpeedup)
+	fmt.Printf("%s %-22s %5.2fx cycles/sec vs %s (floor %.2fx)\n",
+		status, wide, ratio, scalar, minSpeedup)
 	return ratio >= minSpeedup
 }
 
@@ -181,6 +198,7 @@ func main() {
 		factor   = flag.Float64("factor", 2, "allowed regression factor on top of the baseline margin")
 		scaleff  = flag.Float64("scaling-efficiency", 0.75, "required CampaignParallelN/CampaignParallel1 throughput ratio, as a fraction of min(N, cores)")
 		lanespd  = flag.Float64("lane-speedup", 4, "required CampaignLanes64/CampaignLanes1 cycle-throughput ratio")
+		clanespd = flag.Float64("campaign-lane-speedup", 8, "required CampaignNetlistLanes64/CampaignNetlistLanes1 cycle-throughput ratio")
 	)
 	flag.Parse()
 	f := *factor
@@ -233,7 +251,10 @@ func main() {
 	if !checkScaling(cur, *scaleff) {
 		failed = true
 	}
-	if !checkLanes(cur, *lanespd) {
+	if !checkLanes(cur, base, "CampaignLanes1", "CampaignLanes64", *lanespd) {
+		failed = true
+	}
+	if !checkLanes(cur, base, "CampaignNetlistLanes1", "CampaignNetlistLanes64", *clanespd) {
 		failed = true
 	}
 	if failed {

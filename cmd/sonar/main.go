@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sonar [-dut boom|nutshell] [-iters N] [-seed N] [-workers N] [-lanes N] [-dual] [-random] [-v]
+//	sonar [-dut boom|nutshell|gen:<seed>|firrtl:<path>] [-iters N] [-seed N] [-workers N] [-lanes N] [-dual] [-random] [-v]
 //
 // Examples:
 //
@@ -12,6 +12,8 @@
 //	sonar -dut nutshell -random         # random-testing baseline
 //	sonar -dut boom -dual -iters 200    # dual-core template (Figure 4b)
 //	sonar -iters 3000 -workers 8        # sharded parallel campaign
+//	sonar -dut gen:7 -lanes 64          # lane-parallel campaign on a generated netlist
+//	sonar -dut firrtl:design.fir        # same, over a check-validated FIRRTL ingest
 //
 // Observability (see docs/OBSERVABILITY.md):
 //
@@ -33,11 +35,17 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"sonar/internal/boom"
 	"sonar/internal/core"
 	"sonar/internal/detect"
+	"sonar/internal/firrtl"
 	"sonar/internal/fuzz"
+	"sonar/internal/hdl"
+	"sonar/internal/hdl/gen"
 	"sonar/internal/nutshell"
 	"sonar/internal/obs"
 )
@@ -46,7 +54,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sonar: ")
 	var (
-		dut     = flag.String("dut", "boom", "device under test: boom or nutshell")
+		dut     = flag.String("dut", "boom", "device under test: boom, nutshell, gen:<seed> (generated netlist), or firrtl:<path> (FIRRTL ingest)")
 		iters   = flag.Int("iters", 300, "fuzzing iterations")
 		seed    = flag.Int64("seed", 1, "campaign RNG seed")
 		workers = flag.Int("workers", 1, "parallel campaign shards (1 = legacy serial engine)")
@@ -80,6 +88,17 @@ func main() {
 			log.Fatal(err)
 		}
 		*dual = cp.Shape.DualCore
+	}
+
+	if strings.Contains(*dut, ":") {
+		netlistCampaign(*dut, cp, netlistFlags{
+			iters: *iters, seed: *seed, workers: *workers, lanes: *lanes,
+			random: *random, checkpoint: *checkpoint, ckptEvery: *ckptEvery,
+			resume: *resume, iterTimeout: *iterTimeout, maxRounds: *maxRounds,
+			metrics: *metrics, events: *events, metricsAddr: *metricsAddr,
+			progress: *progress,
+		})
+		return
 	}
 
 	var s *core.Sonar
@@ -210,4 +229,124 @@ func main() {
 		}
 		fmt.Printf("--- finding %d ---\n%s", i+1, f)
 	}
+}
+
+// netlistFlags carries the campaign flags the netlist path honors. The
+// behavioral-only flags (-dual, -replay, -save, -perf, -v) do not apply:
+// netlist campaigns exercise contention coverage and intervals, not
+// commit-log findings.
+type netlistFlags struct {
+	iters       int
+	seed        int64
+	workers     int
+	lanes       int
+	random      bool
+	checkpoint  string
+	ckptEvery   int
+	resume      string
+	iterTimeout time.Duration
+	maxRounds   int
+	metrics     string
+	events      string
+	metricsAddr string
+	progress    int
+}
+
+// netlistElab parses -dut specs of the form gen:<seed> (a generated design,
+// internal/hdl/gen) or firrtl:<path> (a check-validated FIRRTL ingest) into
+// a deterministic elaborator.
+func netlistElab(spec string) (func() (*hdl.Netlist, error), error) {
+	switch {
+	case strings.HasPrefix(spec, "gen:"):
+		seed, err := strconv.ParseInt(strings.TrimPrefix(spec, "gen:"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed in -dut %q: %v", spec, err)
+		}
+		// A campaign-shaped design: arbiters give the contention-point
+		// analysis something to monitor (gen's zero config has none).
+		cfg := gen.Config{Seed: seed, Nodes: 96, Regs: 8, Arbiters: 4}
+		return func() (*hdl.Netlist, error) { return gen.New(cfg) }, nil
+	case strings.HasPrefix(spec, "firrtl:"):
+		src, err := os.ReadFile(strings.TrimPrefix(spec, "firrtl:"))
+		if err != nil {
+			return nil, err
+		}
+		return func() (*hdl.Netlist, error) { return firrtl.ParseChecked(string(src)) }, nil
+	}
+	return nil, fmt.Errorf("unknown netlist DUT spec %q (want gen:<seed> or firrtl:<path>)", spec)
+}
+
+// netlistCampaign runs a lane-parallel fuzzing campaign over a netlist DUT:
+// the design is compiled through sim's optimizing pipeline and whole lane
+// groups of testcase pairs execute bit-parallel (docs/CAMPAIGNS.md).
+func netlistCampaign(spec string, cp *fuzz.Checkpoint, f netlistFlags) {
+	elab, err := netlistElab(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := fuzz.LaneDUTFactory(elab, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := factory().(*fuzz.LaneDUT)
+	an := probe.ContentionAnalysis()
+	cs := probe.CompileStats()
+	fmt.Printf("%s: %d contention points monitored; optimizer kept %d nodes (%d eliminated, %d fused, %d collapsed, %d on the spill path)\n",
+		an.Netlist.Name(), len(an.Monitored()), cs.Nodes, cs.Eliminated, cs.Fused, cs.Collapsed, cs.Spilled)
+
+	opt := fuzz.SonarOptions(f.iters)
+	if f.random {
+		opt = fuzz.RandomOptions(f.iters)
+	}
+	opt.Seed = f.seed
+	opt.Workers = f.workers
+	opt.Lanes = f.lanes
+	if cp != nil {
+		opt = cp.CampaignOptions()
+		if got := an.Netlist.Name(); got != cp.DUT {
+			log.Fatalf("checkpoint %s was taken on DUT %q, -dut selects %q", f.resume, cp.DUT, got)
+		}
+		if f.checkpoint == "" {
+			f.checkpoint = f.resume // keep checkpointing to the same file
+		}
+	}
+	opt.Checkpoint = f.checkpoint
+	opt.CheckpointEvery = f.ckptEvery
+	opt.IterTimeout = f.iterTimeout
+	opt.MaxRounds = f.maxRounds
+
+	observer, finish, err := obs.CLIObserver(f.metrics, f.events, f.metricsAddr, os.Stderr, f.progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.Observer = observer
+
+	var st *fuzz.Stats
+	if cp != nil {
+		fmt.Printf("resuming %s: %d/%d iterations done (round %d, %d corpus seeds)...\n",
+			f.resume, cp.Done, cp.Shape.Iterations, cp.Round, len(cp.Corpus.Seeds))
+		if st, err = fuzz.ResumeExec(factory, opt, cp); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("fuzzing %d iterations over the netlist (%d-pair lane groups, workers=%d, lanes=%d)...\n",
+			opt.Iterations, probe.GroupWidth(), opt.Workers, opt.Lanes)
+		st = fuzz.RunParallelExec(factory, opt)
+	}
+	if err := finish(); err != nil {
+		log.Fatal(err)
+	}
+	if done := len(st.PerIteration); f.maxRounds > 0 && done < opt.Iterations && f.checkpoint != "" {
+		fmt.Printf("paused after %d merge rounds at iteration %d/%d; resume with -resume %s\n",
+			f.maxRounds, done, opt.Iterations, f.checkpoint)
+		return
+	}
+	if len(st.PerIteration) == 0 {
+		fmt.Println("no iterations executed")
+		return
+	}
+	last := st.PerIteration[len(st.PerIteration)-1]
+	fmt.Printf("triggered %d contention points, %d testcases exposed secret-dependent timing differences\n",
+		last.CumPoints, last.CumTimingDiffs)
+	fmt.Printf("corpus %d seeds, %d simulated cycles\n", st.CorpusSize, st.ExecutedCycles)
 }

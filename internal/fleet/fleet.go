@@ -24,6 +24,7 @@ import (
 	"sonar/internal/boom"
 	"sonar/internal/firrtl"
 	"sonar/internal/fuzz"
+	"sonar/internal/hdl"
 	"sonar/internal/nutshell"
 	"sonar/internal/obs"
 	"sonar/internal/trace"
@@ -128,13 +129,17 @@ func (cfg Config) maxAttempts() int {
 }
 
 // Spec is a campaign submission: exactly one of DUT or FIRRTL must be set.
-// A named DUT starts a fuzzing campaign; FIRRTL source starts an
-// analysis-only campaign (§5 contention-point identification) that
-// completes immediately.
+// A named DUT starts a fuzzing campaign. FIRRTL source with zero iterations
+// starts an analysis-only campaign (§5 contention-point identification)
+// that completes immediately; with Options.Iterations >= 1 it starts an
+// executable netlist campaign — workers elaborate the design into a
+// lane-parallel fuzz.LaneDUT and whole lane groups of testcase pairs run
+// bit-parallel through the optimizing simulator pipeline.
 type Spec struct {
 	// DUT names a design in the server's registry ("boom", "nutshell", ...).
 	DUT string `json:"dut,omitempty"`
-	// FIRRTL is FIRRTL source text for an analysis-only campaign.
+	// FIRRTL is FIRRTL source text: analysis-only when Options.Iterations is
+	// zero, a lane-parallel netlist fuzzing campaign otherwise.
 	FIRRTL string `json:"firrtl,omitempty"`
 	// Options is the campaign shape. The server normalizes Workers and
 	// BatchSize to their effective values at submission; the determinism
@@ -211,8 +216,13 @@ type LeaseGrant struct {
 	LeaseID string `json:"lease_id"`
 	// Campaign is the campaign ID the lease belongs to.
 	Campaign string `json:"campaign"`
-	// DUT is the registry name of the design to elaborate.
+	// DUT is the registry name of the design to elaborate — or, for FIRRTL
+	// campaigns, the circuit name (informational; FIRRTL carries the design).
 	DUT string `json:"dut"`
+	// FIRRTL is the campaign's FIRRTL source for netlist campaigns; workers
+	// elaborate it into a lane-parallel executor instead of consulting their
+	// DUT registry.
+	FIRRTL string `json:"firrtl,omitempty"`
 	// Shape is the campaign shape to execute under.
 	Shape fuzz.Shape `json:"shape"`
 	// Lanes is the suggested evaluator lane width (0 = worker's choice).
@@ -240,7 +250,8 @@ type Health struct {
 type campaign struct {
 	id       string
 	kind     string // "fuzz" | "analysis"
-	dutName  string // registry name (fuzz) or circuit name (analysis)
+	dutName  string // registry name (fuzz) or circuit name (analysis/FIRRTL)
+	firrtl   string // FIRRTL source for netlist campaigns, forwarded in grants
 	lanes    int
 	lc       *fuzz.LeaseCoordinator // fuzz campaigns only
 	sink     *obs.MemorySink        // backs the events download
@@ -363,7 +374,8 @@ func (ct *Controller) Submit(spec *Spec) (*CampaignStatus, error) {
 		reasons:  make(map[int][]string),
 	}
 
-	if spec.FIRRTL != "" {
+	switch {
+	case spec.FIRRTL != "" && spec.Options.Iterations < 1:
 		net, err := firrtl.ParseChecked(spec.FIRRTL)
 		if err != nil {
 			return nil, fmt.Errorf("%w: firrtl: %v", errBadRequest, err)
@@ -378,7 +390,26 @@ func (ct *Controller) Submit(spec *Spec) (*CampaignStatus, error) {
 			MonitoredPoints: len(a.Monitored()),
 			ByComponent:     a.ByComponent(),
 		}
-	} else {
+	case spec.FIRRTL != "":
+		// Executable netlist campaign: the source elaborates into a
+		// lane-parallel executor here (for the coordinator's analysis and
+		// stats folding) and again on every worker that gets a grant.
+		src := spec.FIRRTL
+		factory, err := fuzz.LaneDUTFactory(func() (*hdl.Netlist, error) {
+			return firrtl.ParseChecked(src)
+		}, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: firrtl: %v", errBadRequest, err)
+		}
+		d := factory()
+		c.kind = "fuzz"
+		c.dutName = d.ContentionAnalysis().Netlist.Name()
+		c.firrtl = src
+		c.sink = obs.NewMemorySink()
+		opt := spec.Options.Options()
+		opt.Observer = obs.New(c.sink)
+		c.lc = fuzz.NewLeaseCoordinator(d, opt)
+	default:
 		if spec.Options.Iterations < 1 {
 			return nil, fmt.Errorf("%w: fuzz campaign needs iterations >= 1", errBadRequest)
 		}
@@ -547,6 +578,7 @@ func (ct *Controller) Acquire(worker string) (*LeaseGrant, error) {
 				LeaseID:   l.id,
 				Campaign:  c.id,
 				DUT:       c.dutName,
+				FIRRTL:    c.firrtl,
 				Shape:     c.lc.Shape(),
 				Lanes:     c.lanes,
 				TTLMillis: ct.cfg.ttl().Milliseconds(),

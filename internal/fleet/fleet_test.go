@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"sonar/internal/firrtl"
 	"sonar/internal/fuzz"
+	"sonar/internal/hdl"
 	"sonar/internal/obs"
 	"sonar/internal/uarch"
 )
@@ -484,5 +486,118 @@ func TestDrain(t *testing.T) {
 	}
 	if g, err := client.Acquire("w"); err != nil || g == nil {
 		t.Fatalf("un-drained server offered no work: grant=%v err=%v", g, err)
+	}
+}
+
+// An executable FIRRTL submission (Iterations >= 1) runs as a lane-parallel
+// netlist campaign: the controller elaborates the source, grants carry it so
+// workers need no registry entry, and the distributed result matches a local
+// RunParallelExec over the same design byte-for-byte — with workers running
+// at different lane widths, since lease execution on the lane path is
+// deterministic in the width.
+func TestAPIFirrtlFuzzCampaign(t *testing.T) {
+	client, _ := newTestServer(t, Config{})
+	shape := testShape(40, 2, 8)
+
+	st, err := client.Submit(&Spec{FIRRTL: fig3, Options: shape})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.Kind != "fuzz" || st.State != "running" || st.DUT != "Lsu" {
+		t.Fatalf("unexpected campaign status %+v", st)
+	}
+
+	// The first grant carries the FIRRTL design itself; workers elaborate it
+	// rather than consulting their registry.
+	g, err := client.Acquire("w-inspect")
+	if err != nil || g == nil {
+		t.Fatalf("Acquire: grant=%v err=%v", g, err)
+	}
+	if g.FIRRTL != fig3 || g.DUT != "Lsu" {
+		t.Fatalf("grant lacks the FIRRTL payload: dut=%q firrtl=%d bytes", g.DUT, len(g.FIRRTL))
+	}
+	factory, err := fuzz.LaneDUTFactory(func() (*hdl.Netlist, error) {
+		return firrtl.ParseChecked(g.FIRRTL)
+	}, 0, 0)
+	if err != nil {
+		t.Fatalf("LaneDUTFactory: %v", err)
+	}
+	res, err := fuzz.ExecuteLeaseExec(factory, g.Shape, 64, &g.Lease)
+	if err != nil {
+		t.Fatalf("ExecuteLeaseExec: %v", err)
+	}
+	if err := client.Report(g.LeaseID, res); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+
+	// Workers with an empty registry finish the campaign — the FIRRTL branch
+	// never consults it — and their mixed lane widths must not perturb the
+	// merged result.
+	laneWidths := []int{1, 64}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(laneWidths))
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunWorker(ctx, client, WorkerOptions{
+				ID:    fmt.Sprintf("fw%d", i),
+				Poll:  5 * time.Millisecond,
+				Lanes: laneWidths[i],
+				DUTs:  map[string]func() *uarch.SoC{},
+			})
+		}(i)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err = client.Campaign("c1")
+		if err != nil {
+			t.Fatalf("Campaign: %v", err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not complete; status %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+
+	// The local lane-campaign reference over the same source.
+	sink := obs.NewMemorySink()
+	opt := shape.Options()
+	opt.Observer = obs.New(sink)
+	wantStats := fuzz.RunParallelExec(factory, opt)
+	if len(wantStats.TriggeredPoints) == 0 {
+		t.Fatal("reference netlist campaign triggered no contention points")
+	}
+	if st.Points != len(wantStats.TriggeredPoints) {
+		t.Errorf("campaign status reports %d points, local run triggered %d", st.Points, len(wantStats.TriggeredPoints))
+	}
+	gotEvents, err := client.Events("c1")
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if !bytes.Equal(gotEvents, sink.Bytes()) {
+		t.Error("distributed event stream differs from local RunParallelExec stream")
+	}
+	result, err := client.Result("c1")
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	gotWire, _ := json.Marshal(result.Stats)
+	want := wantStats.Wire()
+	wantWire, _ := json.Marshal(&want)
+	if !bytes.Equal(gotWire, wantWire) {
+		t.Errorf("distributed stats differ from local run:\n%s\nvs\n%s", gotWire, wantWire)
 	}
 }

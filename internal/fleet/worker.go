@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"sonar/internal/firrtl"
 	"sonar/internal/fuzz"
+	"sonar/internal/hdl"
 	"sonar/internal/uarch"
 )
 
@@ -52,7 +54,7 @@ func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) (int, err
 	if duts == nil {
 		duts = Builtins()
 	}
-	factories := make(map[string]func() *fuzz.DUT)
+	factories := make(map[string]func() fuzz.Executor)
 	executed := 0
 	failures := 0
 	for {
@@ -78,14 +80,34 @@ func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) (int, err
 			continue
 		}
 
-		f, ok := factories[g.DUT]
+		// FIRRTL grants carry the design and elaborate into a lane-parallel
+		// netlist executor, cached per campaign (two campaigns may submit
+		// different sources under the same circuit name); named grants
+		// resolve against the worker's registry, cached per design name.
+		key := g.DUT
+		if g.FIRRTL != "" {
+			key = "firrtl/" + g.Campaign
+		}
+		f, ok := factories[key]
 		if !ok {
-			mk, known := duts[g.DUT]
-			if !known {
-				return executed, fmt.Errorf("fleet: worker %s: server granted unknown DUT %q (registry mismatch)", opt.ID, g.DUT)
+			if g.FIRRTL != "" {
+				src := g.FIRRTL
+				lf, err := fuzz.LaneDUTFactory(func() (*hdl.Netlist, error) {
+					return firrtl.ParseChecked(src)
+				}, 0, 0)
+				if err != nil {
+					return executed, fmt.Errorf("fleet: worker %s: lease %s: firrtl: %w", opt.ID, g.LeaseID, err)
+				}
+				f = lf
+			} else {
+				mk, known := duts[g.DUT]
+				if !known {
+					return executed, fmt.Errorf("fleet: worker %s: server granted unknown DUT %q (registry mismatch)", opt.ID, g.DUT)
+				}
+				df := fuzz.SharedAnalysisFactory(mk)
+				f = func() fuzz.Executor { return df() }
 			}
-			f = fuzz.SharedAnalysisFactory(mk)
-			factories[g.DUT] = f
+			factories[key] = f
 		}
 
 		lanes := opt.Lanes
@@ -93,7 +115,7 @@ func RunWorker(ctx context.Context, client *Client, opt WorkerOptions) (int, err
 			lanes = g.Lanes
 		}
 		stopRenew := renewLoop(client, g)
-		res, err := fuzz.ExecuteLease(f, g.Shape, lanes, &g.Lease)
+		res, err := fuzz.ExecuteLeaseExec(f, g.Shape, lanes, &g.Lease)
 		stopRenew()
 		if err != nil {
 			// A lease the engine rejects (shape/corpus mismatch) cannot

@@ -16,7 +16,7 @@ import (
 // not the coverage series.
 func TestApplyFindingWithoutNewPoint(t *testing.T) {
 	d := liteFactory()
-	acc := newStatsAccum(d, SonarOptions(10))
+	acc := newStatsAccum(d.Analysis, SonarOptions(10))
 	acc.apply(outcome{tc: &Testcase{}, finding: &detect.Finding{}, cycles: 7})
 
 	st := acc.st
@@ -41,7 +41,7 @@ func TestApplyFindingWithoutNewPoint(t *testing.T) {
 func TestApplyDuplicateTriggerAcrossOutcomes(t *testing.T) {
 	d := liteFactory()
 	id := d.Analysis.Monitored()[0].ID
-	acc := newStatsAccum(d, SonarOptions(10))
+	acc := newStatsAccum(d.Analysis, SonarOptions(10))
 	acc.apply(outcome{tc: &Testcase{}, triggered: []int{id, id}})
 	acc.apply(outcome{tc: &Testcase{}, triggered: []int{id}})
 
@@ -65,7 +65,7 @@ func TestApplyDuplicateTriggerAcrossOutcomes(t *testing.T) {
 func TestApplyKeepFindingsCapsRetention(t *testing.T) {
 	opt := SonarOptions(10)
 	opt.KeepFindings = 1
-	acc := newStatsAccum(liteFactory(), opt)
+	acc := newStatsAccum(liteFactory().Analysis, opt)
 	acc.apply(outcome{tc: &Testcase{}, finding: &detect.Finding{}})
 	acc.apply(outcome{tc: &Testcase{}, finding: &detect.Finding{}})
 

@@ -8,6 +8,7 @@ import (
 	"sonar/internal/hdl"
 	"sonar/internal/monitor"
 	"sonar/internal/obs"
+	"sonar/internal/trace"
 )
 
 // Options configures a fuzzing campaign. The three strategy switches map to
@@ -200,7 +201,7 @@ type worker struct {
 	// id is the worker's shard index (0 for the serial engine) — the value
 	// fault events and the FaultHook report.
 	id        int
-	d         *DUT
+	d         Executor
 	rng       *rand.Rand
 	corpus    *Corpus
 	opt       Options
@@ -223,9 +224,15 @@ type worker struct {
 	// feedback must travel with the outcome for its fold to match a local
 	// observed run byte-for-byte.
 	forceIntvls bool
+	// pending, tcs, and pairs are the grouped-execution scratch buffers of
+	// runBatchGrouped, recycled across groups so the GroupExecutor hot loop
+	// stays allocation-free after warmup.
+	pending []pendingIter
+	tcs     []*Testcase
+	pairs   []ExecPair
 }
 
-func newWorker(d *DUT, opt Options, rng *rand.Rand) *worker {
+func newWorker(d Executor, opt Options, rng *rand.Rand) *worker {
 	return &worker{
 		d: d, rng: rng, corpus: NewCorpus(), opt: opt,
 		retention: opt.Retention || opt.Selection || opt.DirectedMutation,
@@ -238,7 +245,7 @@ func newWorker(d *DUT, opt Options, rng *rand.Rand) *worker {
 // zero gives the exact draw sequence of rand.New(rand.NewSource(opt.Seed+id))
 // — the parallel determinism contract — and a checkpointed cursor restores
 // the worker's mid-campaign RNG position.
-func newShardWorker(id int, d *DUT, opt Options, cursor uint64) *worker {
+func newShardWorker(id int, d Executor, opt Options, cursor uint64) *worker {
 	src := newCountedSource(opt.Seed+int64(id), cursor)
 	w := newWorker(d, opt, rand.New(src))
 	w.id = id
@@ -259,9 +266,20 @@ type outcome struct {
 	intvls map[int]int64
 }
 
-// runOne executes one fuzzing iteration: generate or mutate a testcase,
-// double-execute it under both secrets, detect, and feed the corpus.
-func (w *worker) runOne() outcome {
+// pendingIter is one prepared-but-not-executed iteration: the testcase and
+// the selection context its feedback phase needs. It decouples the RNG draws
+// of generation (prepare) from those of feedback (finish) so grouped
+// executors can run whole lane groups between the two phases.
+type pendingIter struct {
+	tc     *Testcase
+	parent *Seed
+	target int
+}
+
+// prepare draws one iteration's testcase: generate, or select-and-mutate
+// from the corpus. All generation-side RNG draws happen here, in exactly the
+// order the pre-split runOne used.
+func (w *worker) prepare() pendingIter {
 	var tc *Testcase
 	var parent *Seed
 	target := -1
@@ -275,10 +293,24 @@ func (w *worker) runOne() outcome {
 	} else {
 		tc = Generate(w.rng, w.opt.DualCore)
 	}
+	return pendingIter{tc: tc, parent: parent, target: target}
+}
 
-	exA := w.d.Execute(tc, w.opt.SecretA)
-	exB := w.d.Execute(tc, w.opt.SecretB)
+// runOne executes one fuzzing iteration: generate or mutate a testcase,
+// double-execute it under both secrets, detect, and feed the corpus.
+func (w *worker) runOne() outcome {
+	p := w.prepare()
+	exA := w.d.Execute(p.tc, w.opt.SecretA)
+	exB := w.d.Execute(p.tc, w.opt.SecretB)
+	return w.finish(p, exA, exB)
+}
 
+// finish folds one dual execution into an outcome and feeds the corpus. All
+// feedback-side RNG draws happen here, in exactly the order the pre-split
+// runOne used, so prepare+finish reproduce runOne's draw sequence bit for
+// bit.
+func (w *worker) finish(p pendingIter, exA, exB *Execution) outcome {
+	tc, parent, target := p.tc, p.parent, p.target
 	// Contention coverage: points triggered in either run, in execution
 	// order (the accumulator deduplicates against the global set).
 	out := outcome{
@@ -335,6 +367,11 @@ func (w *worker) runOne() outcome {
 // before each iteration, from this (worker) goroutine — a scheduled panic
 // or stall therefore surfaces exactly where a real worker fault would.
 func (w *worker) runBatch(dst []outcome, n, round int) []outcome {
+	if g, ok := w.d.(GroupExecutor); ok && g.GroupWidth() > 1 {
+		dst = w.runBatchGrouped(g, dst, n, round)
+		w.flushMutationMetrics()
+		return dst
+	}
 	lanes := normalizeLanes(w.opt)
 	for base := 0; base < n; base += lanes {
 		group := lanes
@@ -355,6 +392,44 @@ func (w *worker) runBatch(dst []outcome, n, round int) []outcome {
 		}
 	}
 	w.flushMutationMetrics()
+	return dst
+}
+
+// runBatchGrouped executes n iterations against a GroupExecutor, whole lane
+// groups at a time, through a fixed three-phase loop per group: prepare every
+// lane's testcase (ascending lane order), execute the group bit-parallel,
+// then finish every lane (ascending lane order again). The RNG draw order is
+// [prepare lane 0..G-1][finish lane 0..G-1] per group — a pure function of
+// GroupWidth — and Options.Lanes only selects the executor's internal chunk
+// width, so the outcome stream is byte-identical at every Lanes setting
+// (TestNetlistLaneMatrix pins this). Same-group corpus offers land in the
+// finish phase, after every selection of the group already happened in the
+// prepare phase, so a group never feeds back into itself — the same
+// visibility a merge-barrier batch boundary gives the parallel engine.
+func (w *worker) runBatchGrouped(g GroupExecutor, dst []outcome, n, round int) []outcome {
+	width := g.GroupWidth()
+	chunk := normalizeLanes(w.opt)
+	for base := 0; base < n; base += width {
+		group := width
+		if base+group > n {
+			group = n - base
+		}
+		w.pending = w.pending[:0]
+		w.tcs = w.tcs[:0]
+		for lane := 0; lane < group; lane++ {
+			if h := w.opt.FaultHook; h != nil {
+				h.BeforeIteration(w.id, round, base+lane)
+			}
+			p := w.prepare()
+			w.pending = append(w.pending, p)
+			w.tcs = append(w.tcs, p.tc)
+		}
+		w.pairs = g.ExecuteGroup(w.tcs, w.opt.SecretA, w.opt.SecretB, chunk, w.pairs[:0])
+		for lane := 0; lane < group; lane++ {
+			pr := w.pairs[lane]
+			dst = append(dst, w.finish(w.pending[lane], pr.A, pr.B))
+		}
+	}
 	return dst
 }
 
@@ -407,7 +482,10 @@ func analyzeExecutions(tc *Testcase, exA, exB *Execution) *detect.Finding {
 // canonical order, so serial and parallel campaigns build Stats through the
 // same code path.
 type statsAccum struct {
-	d   *DUT // any worker's DUT: the analysis (and point IDs) are identical
+	// an is any worker executor's contention analysis: point IDs are
+	// identical across a campaign's executor instances (the Executor
+	// contract), so the accumulator never needs the executor itself.
+	an  *trace.Analysis
 	opt Options
 	st  *Stats
 	obs *obs.Observer
@@ -416,8 +494,8 @@ type statsAccum struct {
 	best map[int]int64
 }
 
-func newStatsAccum(d *DUT, opt Options) *statsAccum {
-	a := &statsAccum{d: d, opt: opt, st: &Stats{TriggeredPoints: make(map[int]bool)}, obs: opt.Observer}
+func newStatsAccum(an *trace.Analysis, opt Options) *statsAccum {
+	a := &statsAccum{an: an, opt: opt, st: &Stats{TriggeredPoints: make(map[int]bool)}, obs: opt.Observer}
 	if a.obs != nil {
 		a.best = make(map[int]int64)
 	}
@@ -443,7 +521,7 @@ func (a *statsAccum) apply(o outcome) {
 			}
 			if it <= 20 {
 				st.EarlyTriggered++
-				if singleValidDominated(a.d, id) {
+				if singleValidDominated(a.an, id) {
 					st.SingleValidTriggered++
 					early[0]++
 				} else {
@@ -522,7 +600,7 @@ func (a *statsAccum) finish() {
 // same-path intervals.
 func Run(d *DUT, opt Options) *Stats {
 	w := newWorker(d, opt, rand.New(rand.NewSource(opt.Seed)))
-	acc := newStatsAccum(d, opt)
+	acc := newStatsAccum(d.Analysis, opt)
 	// campaign_start reports the same effective (post-clamp) worker count
 	// and batch size RunParallel(Workers=1) would, so the two engines'
 	// event streams agree on the campaign header (the "Workers<=1
@@ -557,8 +635,8 @@ func Run(d *DUT, opt Options) *Stats {
 // carries validity, or some request has no validity indication at all — a
 // constantly-valid peer, so any single valid assertion triggers the point
 // (§8.3.2 observation ①).
-func singleValidDominated(d *DUT, pointID int) bool {
-	p := d.Analysis.Points[pointID]
+func singleValidDominated(an *trace.Analysis, pointID int) bool {
+	p := an.Points[pointID]
 	withValid := 0
 	constPeer := false
 	for i := range p.Requests {

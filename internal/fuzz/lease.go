@@ -111,6 +111,14 @@ type LeaseResult struct {
 // lanes is the evaluator batch width (Options.Lanes), an operational knob
 // that may differ per worker without changing any result.
 func ExecuteLease(newDUT func() *DUT, shape Shape, lanes int, l *Lease) (*LeaseResult, error) {
+	return ExecuteLeaseExec(func() Executor { return newDUT() }, shape, lanes, l)
+}
+
+// ExecuteLeaseExec is ExecuteLease over any Executor factory — the entry
+// point netlist-backed lease workers use. A GroupExecutor lease drains
+// through the grouped batch loop, whose RNG order is lane-width independent,
+// so re-executions at any Lanes setting still return byte-equal results.
+func ExecuteLeaseExec(newExec func() Executor, shape Shape, lanes int, l *Lease) (*LeaseResult, error) {
 	if l.Shard < 0 || l.Shard >= shape.Workers {
 		return nil, fmt.Errorf("fuzz: lease shard %d out of range (campaign has %d workers)", l.Shard, shape.Workers)
 	}
@@ -123,7 +131,7 @@ func ExecuteLease(newDUT func() *DUT, shape Shape, lanes int, l *Lease) (*LeaseR
 	}
 	opt := shape.Options()
 	opt.Lanes = lanes
-	w := newShardWorker(l.Shard, newDUT(), opt, l.Cursor)
+	w := newShardWorker(l.Shard, newExec(), opt, l.Cursor)
 	w.corpus = corpus
 	w.forceIntvls = true
 	outs := w.runBatch(nil, l.N, l.Round)
@@ -183,10 +191,11 @@ type LeaseCoordinator struct {
 
 // NewLeaseCoordinator opens a distributed campaign: it splits opt's
 // iteration budget into static shards exactly like RunParallel and emits
-// the campaign_start event through opt.Observer. d is the server's own DUT
-// instance — it backs the stats fold (point analysis) and is never
-// executed; workers bring their own DUTs.
-func NewLeaseCoordinator(d *DUT, opt Options) *LeaseCoordinator {
+// the campaign_start event through opt.Observer. d is the server's own
+// executor instance (a behavioral *DUT or a netlist LaneDUT) — it backs the
+// stats fold (point analysis) and is never executed; workers bring their
+// own.
+func NewLeaseCoordinator(d Executor, opt Options) *LeaseCoordinator {
 	workers, batch := normalizeParallel(opt)
 	rem := make([]int, workers)
 	for i := range rem {
@@ -195,14 +204,16 @@ func NewLeaseCoordinator(d *DUT, opt Options) *LeaseCoordinator {
 			rem[i]++
 		}
 	}
+	an := d.ContentionAnalysis()
 	lc := &LeaseCoordinator{
-		opt: opt, dut: d.Analysis.Netlist.Name(),
+		opt: opt, dut: an.Netlist.Name(),
 		workers: workers, batch: batch,
 		rem: rem, cursors: make([]uint64, workers), left: opt.Iterations,
-		acc: newStatsAccum(d, opt), global: NewCorpus(),
+		acc: newStatsAccum(an, opt), global: NewCorpus(),
 		reported:  make([]*leaseReport, workers),
 		abandoned: make([][]string, workers),
 	}
+	observeCompile(opt.Observer, d)
 	opt.Observer.CampaignStart(lc.dut, opt.Iterations, workers, batch, opt.Seed)
 	if lc.left == 0 {
 		lc.finish()
@@ -215,7 +226,7 @@ func NewLeaseCoordinator(d *DUT, opt Options) *LeaseCoordinator {
 // campaign shape as the checkpoint; the resumed coordinator's remaining
 // rounds — Stats and event stream included — are identical to the
 // uninterrupted campaign's.
-func ResumeLeaseCoordinator(d *DUT, opt Options, cp *Checkpoint) (*LeaseCoordinator, error) {
+func ResumeLeaseCoordinator(d Executor, opt Options, cp *Checkpoint) (*LeaseCoordinator, error) {
 	if err := cp.validate(); err != nil {
 		return nil, err
 	}
@@ -231,7 +242,8 @@ func ResumeLeaseCoordinator(d *DUT, opt Options, cp *Checkpoint) (*LeaseCoordina
 		return nil, err
 	}
 	workers, batch := normalizeParallel(opt)
-	acc := newStatsAccum(d, opt)
+	observeCompile(opt.Observer, d)
+	acc := newStatsAccum(d.ContentionAnalysis(), opt)
 	acc.st = st
 	if acc.best != nil {
 		for _, pi := range best {

@@ -51,7 +51,7 @@ const pipelineDepth = 2
 // PerIteration, and the event stream stay byte-identical per (Seed,
 // Workers, BatchSize); only the wall-clock schedule changed.
 type coordinator struct {
-	newDUT  func() *DUT
+	newExec func() Executor
 	opt     Options
 	dut     string // netlist name, for checkpoints and campaign_start
 	workers int
@@ -165,20 +165,28 @@ func normalizeParallel(opt Options) (workers, batch int) {
 // keeps failing is abandoned and the campaign completes on the remaining
 // workers.
 func RunParallel(newDUT func() *DUT, opt Options) *Stats {
+	return RunParallelExec(func() Executor { return newDUT() }, opt)
+}
+
+// RunParallelExec is RunParallel over any Executor factory — the entry point
+// netlist-backed campaigns (fuzz.LaneDUT) use. RunParallel is a thin wrapper
+// for behavioral-DUT factories.
+func RunParallelExec(newExec func() Executor, opt Options) *Stats {
 	workers, batch := normalizeParallel(opt)
 
-	// One private DUT per worker; elaboration and analysis are independent
-	// and deterministic, so build them concurrently.
+	// One private executor per worker; elaboration and analysis are
+	// independent and deterministic, so build them concurrently.
 	ws := make([]*worker, workers)
 	var wg sync.WaitGroup
 	for i := range ws {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ws[i] = newShardWorker(i, newDUT(), opt, 0)
+			ws[i] = newShardWorker(i, newExec(), opt, 0)
 		}(i)
 	}
 	wg.Wait()
+	observeCompile(opt.Observer, ws[0].d)
 
 	// Static shard sizes: worker w owns iterations w, w+workers, ... of the
 	// budget, drained in fixed-size batches.
@@ -190,11 +198,12 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 		}
 	}
 
+	an := ws[0].d.ContentionAnalysis()
 	c := &coordinator{
-		newDUT: newDUT, opt: opt, dut: ws[0].d.Analysis.Netlist.Name(),
+		newExec: newExec, opt: opt, dut: an.Netlist.Name(),
 		workers: workers, batch: batch,
 		ws: ws, rem: rem, left: opt.Iterations,
-		acc: newStatsAccum(ws[0].d, opt), global: NewCorpus(),
+		acc: newStatsAccum(an, opt), global: NewCorpus(),
 		lastSaved: -1, nextCkpt: checkpointEvery(opt),
 	}
 	opt.Observer.CampaignStart(c.dut, opt.Iterations, workers, batch, opt.Seed)
@@ -213,6 +222,12 @@ func RunParallel(newDUT func() *DUT, opt Options) *Stats {
 // stream the interrupted run emitted before the checkpoint (sequence
 // numbers included; no campaign_start is re-emitted).
 func Resume(newDUT func() *DUT, opt Options, cp *Checkpoint) (*Stats, error) {
+	return ResumeExec(func() Executor { return newDUT() }, opt, cp)
+}
+
+// ResumeExec is Resume over any Executor factory; Resume is a thin wrapper
+// for behavioral-DUT factories.
+func ResumeExec(newExec func() Executor, opt Options, cp *Checkpoint) (*Stats, error) {
 	if err := cp.validate(); err != nil {
 		return nil, err
 	}
@@ -234,12 +249,12 @@ func Resume(newDUT func() *DUT, opt Options, cp *Checkpoint) (*Stats, error) {
 	var wg sync.WaitGroup
 	for i := range ws {
 		if cp.Rem[i] == 0 {
-			continue // drained or abandoned shard: no DUT needed
+			continue // drained or abandoned shard: no executor needed
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ws[i] = newShardWorker(i, newDUT(), opt, cp.Cursors[i])
+			ws[i] = newShardWorker(i, newExec(), opt, cp.Cursors[i])
 		}(i)
 	}
 	wg.Wait()
@@ -254,10 +269,11 @@ func Resume(newDUT func() *DUT, opt Options, cp *Checkpoint) (*Stats, error) {
 	acc := newStatsAccum(nil, opt)
 	acc.st = st
 	for _, w := range ws {
-		// Any live worker's DUT serves the accumulator: analysis (and point
-		// IDs) are identical across DUT instances.
+		// Any live worker's analysis serves the accumulator: point IDs are
+		// identical across a campaign's executor instances.
 		if w != nil {
-			acc.d = w.d
+			acc.an = w.d.ContentionAnalysis()
+			observeCompile(opt.Observer, w.d)
 			break
 		}
 	}
@@ -276,7 +292,7 @@ func Resume(newDUT func() *DUT, opt Options, cp *Checkpoint) (*Stats, error) {
 		global.Len(), st.ExecutedCycles)
 
 	c := &coordinator{
-		newDUT: newDUT, opt: opt, dut: cp.DUT, workers: workers, batch: batch,
+		newExec: newExec, opt: opt, dut: cp.DUT, workers: workers, batch: batch,
 		ws: ws, rem: append([]int(nil), cp.Rem...), left: sum(cp.Rem),
 		round: cp.Round, acc: acc, global: global,
 		lastSaved: cp.Done, nextCkpt: nextCheckpointAfter(cp.Done, opt),
@@ -595,7 +611,7 @@ func (c *coordinator) attemptBatch(w *worker, dst []outcome, i, n int, cursor ui
 			}
 		}()
 		if w == nil {
-			w = newShardWorker(i, c.newDUT(), c.opt, cursor)
+			w = newShardWorker(i, c.newExec(), c.opt, cursor)
 			// Deep-copy snapshot, not a view: view() mutates the global
 			// corpus's freeze flag, which must not race with other shards'
 			// replacement builds during the parallel phase. Content equals

@@ -52,10 +52,10 @@ func NewLaneBank(a *trace.Analysis, cfg Config, host LaneHost) *LaneBank {
 	if cfg.IgnoreFilter {
 		points = a.Points
 	}
+	for lane := 0; lane < hdl.Lanes; lane++ {
+		b.states[lane] = newPointStates(points)
+	}
 	for pi, p := range points {
-		for lane := 0; lane < hdl.Lanes; lane++ {
-			b.states[lane] = append(b.states[lane], newPointState(p))
-		}
 		for ri := range p.Requests {
 			req := &p.Requests[ri]
 			if !req.HasValid() {

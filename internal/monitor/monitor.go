@@ -109,9 +109,9 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 	if cfg.IgnoreFilter {
 		points = a.Points
 	}
-	for _, p := range points {
-		st := newPointState(p)
-		m.states = append(m.states, st)
+	m.states = newPointStates(points)
+	for pi, p := range points {
+		st := m.states[pi]
 		for ri := range p.Requests {
 			req := &p.Requests[ri]
 			if !req.HasValid() {
@@ -134,28 +134,53 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 	return m
 }
 
-// newPointState builds the instrumentation state for one point, reset and
-// ready for hooks (the true-valid recount is the caller's job: scalar and
-// lane monitors read values from different planes).
-func newPointState(p *trace.Point) *pointState {
-	st := &pointState{
-		point:     p,
-		trueCnt:   make([]int32, len(p.Requests)),
-		need:      make([]int32, len(p.Requests)),
-		lastCycle: make([]int64, len(p.Requests)),
-		lastData:  make([]uint64, len(p.Requests)),
+// newPointStates builds the instrumentation states for an ordered point
+// list, reset and ready for hooks (the true-valid recount is the caller's
+// job: scalar and lane monitors read values from different planes). All
+// per-point bookkeeping — the states themselves, the per-request counters,
+// and the capped event logs — is carved from a handful of contiguous slabs,
+// so construction costs O(1) allocations instead of O(points): a LaneBank
+// builds hdl.Lanes independent copies of every state, and per-point
+// allocation there dominated whole-campaign allocation counts. record never
+// outgrows its event slice (maxEventsPerPoint cap), so the slab also keeps
+// the monitoring hot path allocation-free from the first execution.
+func newPointStates(points []*trace.Point) []*pointState {
+	reqs := 0
+	for _, p := range points {
+		reqs += len(p.Requests)
 	}
-	for ri := range p.Requests {
-		req := &p.Requests[ri]
-		if !req.HasValid() && !req.Data.IsConst() {
-			st.constPeer = true
+	var (
+		structs = make([]pointState, len(points))
+		states  = make([]*pointState, len(points))
+		i32     = make([]int32, 2*reqs)
+		cycles  = make([]int64, reqs)
+		data    = make([]uint64, reqs)
+		events  = make([]Event, len(points)*maxEventsPerPoint)
+	)
+	off := 0
+	for i, p := range points {
+		n := len(p.Requests)
+		st := &structs[i]
+		st.point = p
+		st.trueCnt = i32[off : off+n : off+n]
+		st.need = i32[reqs+off : reqs+off+n : reqs+off+n]
+		st.lastCycle = cycles[off : off+n : off+n]
+		st.lastData = data[off : off+n : off+n]
+		st.events = events[i*maxEventsPerPoint : i*maxEventsPerPoint : (i+1)*maxEventsPerPoint]
+		for ri := range p.Requests {
+			req := &p.Requests[ri]
+			if !req.HasValid() && !req.Data.IsConst() {
+				st.constPeer = true
+			}
+			if req.HasValid() {
+				st.need[ri] = int32(len(req.Valids))
+			}
 		}
-		if req.HasValid() {
-			st.need[ri] = int32(len(req.Valids))
-		}
+		st.reset()
+		states[i] = st
+		off += n
 	}
-	st.reset()
-	return st
+	return states
 }
 
 // recount re-derives the per-request true-valid counts from the current
@@ -250,7 +275,10 @@ func (st *pointState) applyValidDelta(ri int, old, new uint64) bool {
 }
 
 // record folds one in-window valid arrival of request ri with the given
-// data-field value into the point's reqsIntvl statistics and event log.
+// data-field value into the point's reqsIntvl statistics and event log. The
+// event append stays within the log's preallocated cap (maxEventsPerPoint).
+//
+//sonar:alloc-free
 func (st *pointState) record(cfg *Config, ri int, cycle int64, data uint64) {
 	// A constantly-valid co-request arrives every cycle: any event is a
 	// simultaneous distinct-request arrival.

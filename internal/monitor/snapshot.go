@@ -70,6 +70,14 @@ func (m *Monitor) SnapshotInto(s *Snapshot) {
 func snapshotInto(s *Snapshot, states []*pointState) {
 	if cap(s.Points) < len(states) {
 		s.Points = make([]PointSnapshot, len(states))
+		// One contiguous event slab for the arena: source logs are capped at
+		// maxEventsPerPoint, so the copy below never outgrows its buffer and
+		// the arena allocates nothing after this first sizing — per-group
+		// event-count jitter otherwise regrows buffers for the whole campaign.
+		slab := make([]Event, len(states)*maxEventsPerPoint)
+		for i := range s.Points {
+			s.Points[i].Events = slab[i*maxEventsPerPoint : i*maxEventsPerPoint : (i+1)*maxEventsPerPoint]
+		}
 	}
 	s.Points = s.Points[:len(states)]
 	for i, st := range states {

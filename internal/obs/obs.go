@@ -47,6 +47,8 @@ const (
 	MetricTracedPoints      = "sonar_dut_traced_points"
 	MetricMonitoredPoints   = "sonar_dut_monitored_points"
 	MetricDUTInfo           = "sonar_dut_info"
+	MetricSimSpilled        = "sonar_sim_spilled_nodes"
+	MetricSimEliminated     = "sonar_sim_eliminated_nodes"
 	MetricWorkerFailures    = "sonar_worker_failures_total"
 	MetricBatchRetries      = "sonar_batch_retries_total"
 	MetricCheckpoints       = "sonar_checkpoints_total"
@@ -363,6 +365,21 @@ func (o *Observer) DUTInfo(design string, naiveMuxes, tracedPoints, monitoredPoi
 	o.naiveMuxes.Set(float64(naiveMuxes))
 	o.tracedPts.Set(float64(tracedPoints))
 	o.monitored.Set(float64(monitoredPoints))
+}
+
+// SimCompileInfo publishes what the simulator's optimizing compile pipeline
+// did to a netlist-backed DUT: how many surviving nodes still take the
+// scalar-spill slow path, and how many nodes the destructive passes removed
+// (eliminated + collapsed + fused). Metric-only; safe from worker
+// goroutines. The gauges are registered lazily on first call, so behavioral
+// campaigns — which never compile a simulator — leave them absent from the
+// exposition rather than reporting a misleading zero.
+func (o *Observer) SimCompileInfo(spilled, eliminated int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Gauge(MetricSimSpilled, "Simulator nodes on the scalar-spill slow path after compile.").Set(float64(spilled))
+	o.Metrics.Gauge(MetricSimEliminated, "Simulator nodes removed by the optimizing compile pipeline.").Set(float64(eliminated))
 }
 
 // Close closes every attached sink, joining their errors. The Observer

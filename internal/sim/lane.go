@@ -20,15 +20,17 @@ type laneRef struct {
 // scalar spills (kind nkPrim) and evaluate lane by lane through
 // hdl.Prim.Compute on the scalar plane.
 type lnode struct {
-	kind    uint8
-	regSlot int32 // index into regs if out is a register, else -1
-	out     *hdl.Signal
-	outRef  laneRef
-	sel     laneRef   // mux: select operand
-	tval    laneRef   // mux: true-value operand
-	fval    laneRef   // mux: false-value operand
-	prim    *hdl.Prim // prim: computed per lane via Prim.Compute
-	bufs    []laneRef // buf: source operands, OR-reduced per word
+	kind     uint8
+	regSlot  int32 // index into regs if out is a register, else -1
+	out      *hdl.Signal
+	outRef   laneRef
+	sel      laneRef   // mux: select operand; copy: source operand
+	tval     laneRef   // mux: true-value operand
+	fval     laneRef   // mux: false-value operand; chain: fallback operand
+	prim     *hdl.Prim // prim: computed per lane via Prim.Compute
+	bufs     []laneRef // buf: source operands, OR-reduced per word
+	constVal uint64    // const: the folded value, broadcast to all lanes
+	chain    []laneRef // chain: interleaved (sel, tval) refs, priority order
 }
 
 // lreg is one register with a combinational driver: where its latched words
@@ -65,6 +67,8 @@ type LaneSimulator struct {
 	bits    []uint64              // "any lane watcher?" bitset by signal id
 	cycle   int64
 	spilled int
+	init    []uint64 // construction-time plane words, for Reset
+	stats   CompileStats
 
 	// Fixed scratch buffers sized for the maximum signal width, so Eval and
 	// Tick stay allocation-free.
@@ -73,16 +77,26 @@ type LaneSimulator struct {
 	laneVals [hdl.Lanes]uint64
 }
 
-// NewLanes builds a lane simulator for the netlist: the same levelized
-// evaluation order as New, compiled against a fresh hdl.LanePlane seeded
-// from the netlist's current scalar values (all lanes start identical).
-// It returns an error if the combinational logic contains a cycle that does
-// not pass through a register.
+// NewLanes builds a lane simulator for the netlist with every signal kept
+// (only the value-preserving constant-folding optimization runs): the same
+// levelized evaluation order as New, compiled against a fresh hdl.LanePlane
+// seeded from the netlist's current scalar values (all lanes start
+// identical). It returns an error if the combinational logic contains a
+// cycle that does not pass through a register.
 func NewLanes(n *hdl.Netlist) (*LaneSimulator, error) {
+	return NewLanesOpt(n, CompileOptions{})
+}
+
+// NewLanesOpt builds a lane simulator through the optimizing compile
+// pipeline — the same passes, over the same intermediate nodes, as NewOpt,
+// so the scalar and lane evaluators of one netlist always agree on what was
+// folded, eliminated, collapsed, and fused.
+func NewLanesOpt(n *hdl.Netlist, opts CompileOptions) (*LaneSimulator, error) {
 	sorted, drivenRegs, err := levelize(n)
 	if err != nil {
 		return nil, err
 	}
+	ons, stats := optimize(sorted, opts)
 	plane := hdl.NewLanePlane(n)
 	ls := &LaneSimulator{
 		net:   n,
@@ -104,32 +118,47 @@ func NewLanes(n *hdl.Netlist) (*LaneSimulator, error) {
 	}
 	ls.next = make([]uint64, nextWords)
 
-	ls.order = make([]lnode, len(sorted))
-	for i, nd := range sorted {
-		c := lnode{regSlot: -1, out: nd.out(), outRef: ref(nd.out())}
+	ls.order = make([]lnode, len(ons))
+	for i := range ons {
+		nd := &ons[i]
+		c := lnode{regSlot: -1, out: nd.out, outRef: ref(nd.out)}
 		if slot, ok := regSlot[c.out]; ok {
 			c.regSlot = slot
 		}
-		switch {
-		case nd.mux != nil:
+		switch nd.kind {
+		case nkMux:
 			c.kind = nkMux
-			c.sel = ref(nd.mux.Sel)
-			c.tval = ref(nd.mux.TVal)
-			c.fval = ref(nd.mux.FVal)
-		case nd.prim != nil:
+			c.sel = ref(nd.sel)
+			c.tval = ref(nd.tval)
+			c.fval = ref(nd.fval)
+		case nkPrim:
 			c.kind = nkPrim
 			c.prim = nd.prim
 			ls.spilled++
-		default:
+		case nkBuf:
 			c.kind = nkBuf
-			srcs := nd.buf.Sources()
-			c.bufs = make([]laneRef, len(srcs))
-			for k, src := range srcs {
+			c.bufs = make([]laneRef, len(nd.srcs))
+			for k, src := range nd.srcs {
 				c.bufs[k] = ref(src)
+			}
+		case nkCopy:
+			c.kind = nkCopy
+			c.sel = ref(nd.sel)
+		case nkConst:
+			c.kind = nkConst
+			c.constVal = nd.constVal
+		case nkChain:
+			c.kind = nkChain
+			c.fval = ref(nd.fval)
+			c.chain = make([]laneRef, len(nd.chain))
+			for k, sig := range nd.chain {
+				c.chain[k] = ref(sig)
 			}
 		}
 		ls.order[i] = c
 	}
+	ls.stats = stats
+	ls.init = append([]uint64(nil), plane.Words()...)
 	return ls, nil
 }
 
@@ -147,6 +176,23 @@ func (ls *LaneSimulator) Cycle() int64 { return ls.cycle }
 // SpilledNodes returns how many compiled nodes take the scalar spill path
 // (prim nodes). Zero means the whole design bit-slices.
 func (ls *LaneSimulator) SpilledNodes() int { return ls.spilled }
+
+// Stats returns what the compile pipeline did to the netlist.
+func (ls *LaneSimulator) Stats() CompileStats { return ls.stats }
+
+// Reset restores every lane of every signal to its construction-time value
+// and rewinds the lane clock to cycle 0, so one lane simulator executes
+// back-to-back runs from identical state. The restore writes the plane words
+// directly, bypassing lane watch hooks — observers that mirror plane state
+// (monitor.NewLaneBank) must re-baseline afterwards, which the bank's Reset
+// does by recounting.
+func (ls *LaneSimulator) Reset() {
+	copy(ls.plane.Words(), ls.init)
+	for i := range ls.next {
+		ls.next[i] = 0
+	}
+	ls.cycle = 0
+}
 
 // WatchLanes registers fn to be called whenever the signal's value changes
 // in any lane during Eval or Tick. For one evaluation changing several
@@ -261,7 +307,7 @@ func (ls *LaneSimulator) Eval() {
 				}
 				ls.outBuf[b] = word
 			}
-		default:
+		case nkBuf:
 			for b := int32(0); b < w; b++ {
 				var acc uint64
 				for _, src := range nd.bufs {
@@ -270,6 +316,46 @@ func (ls *LaneSimulator) Eval() {
 					}
 				}
 				ls.outBuf[b] = acc
+			}
+		case nkCopy:
+			for b := int32(0); b < w; b++ {
+				var x uint64
+				if b < nd.sel.w {
+					x = W[nd.sel.off+b]
+				}
+				ls.outBuf[b] = x
+			}
+		case nkConst:
+			// Bit b of the folded value broadcast to all lanes of word b.
+			for b := int32(0); b < w; b++ {
+				if nd.constVal>>uint(b)&1 != 0 {
+					ls.outBuf[b] = ^uint64(0)
+				} else {
+					ls.outBuf[b] = 0
+				}
+			}
+		default: // nkChain: fallback first, then entries from weakest to strongest
+			for b := int32(0); b < w; b++ {
+				var x uint64
+				if b < nd.fval.w {
+					x = W[nd.fval.off+b]
+				}
+				ls.outBuf[b] = x
+			}
+			for k := len(nd.chain) - 2; k >= 0; k -= 2 {
+				sel := nd.chain[k]
+				var selMask uint64
+				for b := int32(0); b < sel.w; b++ {
+					selMask |= W[sel.off+b]
+				}
+				t := nd.chain[k+1]
+				for b := int32(0); b < w; b++ {
+					var tw uint64
+					if b < t.w {
+						tw = W[t.off+b]
+					}
+					ls.outBuf[b] = selMask&tw | ^selMask&ls.outBuf[b]
+				}
 			}
 		}
 		if nd.regSlot >= 0 {
@@ -309,6 +395,29 @@ func (ls *LaneSimulator) Tick() {
 func (ls *LaneSimulator) Run(n int) {
 	for i := 0; i < n; i++ {
 		ls.Tick()
+	}
+}
+
+// SetLane sets one lane of a signal, dispatching the signal's lane watch
+// hooks if that lane's value changed — the lane analog of hdl.Signal.Set.
+// Stimulus drivers must poke through this method rather than LanePlane.Set
+// (which is a silent store): on designs whose monitored signals are ports,
+// observers mirroring plane state (monitor.NewLaneBank) would otherwise miss
+// input transitions that the scalar path's Signal.Set reports.
+//
+//sonar:alloc-free
+func (ls *LaneSimulator) SetLane(s *hdl.Signal, lane int, v uint64) {
+	v &= s.Mask()
+	old := ls.plane.Get(s, lane)
+	if v == old {
+		return
+	}
+	ls.plane.Set(s, lane, v)
+	if ls.watched(s) {
+		cyc := ls.cycle
+		for _, fn := range ls.watch[s.ID()] {
+			fn(s, lane, old, v, cyc)
+		}
 	}
 }
 

@@ -50,7 +50,8 @@ func (n node) inputs() []*hdl.Signal {
 	return n.buf.Sources()
 }
 
-// cnode kinds.
+// cnode kinds (the optimizer-only kinds nkCopy/nkConst/nkChain are declared
+// in optimize.go).
 const (
 	nkMux uint8 = iota
 	nkPrim
@@ -61,14 +62,16 @@ const (
 // dense signal ids into the netlist value plane, so Eval reads flat slices
 // instead of chasing pointers or hashing map keys.
 type cnode struct {
-	kind    uint8
-	regSlot int32       // index into next/regs if out is a register, else -1
-	out     *hdl.Signal // driven signal (Set dispatches watchers)
-	sel     int32       // mux: select id
-	tval    int32       // mux: true-value id
-	fval    int32       // mux: false-value id
-	prim    *hdl.Prim   // prim: computed via Prim.Compute
-	bufIDs  []int32     // buf: source ids, OR-reduced
+	kind     uint8
+	regSlot  int32       // index into next/regs if out is a register, else -1
+	out      *hdl.Signal // driven signal (Set dispatches watchers)
+	sel      int32       // mux: select id; copy: source id
+	tval     int32       // mux: true-value id
+	fval     int32       // mux: false-value id; chain: fallback id
+	prim     *hdl.Prim   // prim: computed via Prim.Compute
+	bufIDs   []int32     // buf: source ids, OR-reduced
+	constVal uint64      // const: the folded value
+	chain    []int32     // chain: interleaved (sel, tval) ids, priority order
 }
 
 // Simulator evaluates a netlist cycle by cycle.
@@ -77,6 +80,8 @@ type Simulator struct {
 	order []cnode       // topological combinational order, compiled
 	next  []uint64      // staged register next-values, indexed by reg slot
 	regs  []*hdl.Signal // registers with combinational drivers, by reg slot
+	init  []uint64      // construction-time value plane, for Reset
+	stats CompileStats
 }
 
 // levelize collects the combinational elements of the netlist (muxes, prims,
@@ -163,15 +168,26 @@ func levelize(n *hdl.Netlist) (sorted []node, drivenRegs []*hdl.Signal, err erro
 	return sorted, drivenRegs, nil
 }
 
-// New builds a simulator for the netlist. It returns an error if the
-// combinational logic contains a cycle that does not pass through a
+// New builds a simulator for the netlist with every signal kept (only the
+// value-preserving constant-folding optimization runs). It returns an error
+// if the combinational logic contains a cycle that does not pass through a
 // register.
 func New(n *hdl.Netlist) (*Simulator, error) {
+	return NewOpt(n, CompileOptions{})
+}
+
+// NewOpt builds a simulator through the optimizing compile pipeline
+// (docs/SIMULATOR.md "Optimizer passes"): constant folding always; with an
+// explicit opts.Keep set also dead-node elimination, buffer-chain collapse,
+// and mux-tree fusion. It returns an error if the combinational logic
+// contains a cycle that does not pass through a register.
+func NewOpt(n *hdl.Netlist, opts CompileOptions) (*Simulator, error) {
 	sorted, drivenRegs, err := levelize(n)
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{net: n, regs: drivenRegs}
+	ons, stats := optimize(sorted, opts)
+	s := &Simulator{net: n, regs: drivenRegs, stats: stats}
 
 	// Compile: precompute input ids and register staging slots so the per-
 	// cycle Eval loop touches only flat slices.
@@ -180,36 +196,66 @@ func New(n *hdl.Netlist) (*Simulator, error) {
 		regSlot[sig] = int32(i)
 	}
 	s.next = make([]uint64, len(s.regs))
-	s.order = make([]cnode, len(sorted))
-	for i, nd := range sorted {
-		c := cnode{regSlot: -1, out: nd.out()}
+	s.order = make([]cnode, len(ons))
+	for i := range ons {
+		nd := &ons[i]
+		c := cnode{regSlot: -1, out: nd.out}
 		if slot, ok := regSlot[c.out]; ok {
 			c.regSlot = slot
 		}
-		switch {
-		case nd.mux != nil:
+		switch nd.kind {
+		case nkMux:
 			c.kind = nkMux
-			c.sel = int32(nd.mux.Sel.ID())
-			c.tval = int32(nd.mux.TVal.ID())
-			c.fval = int32(nd.mux.FVal.ID())
-		case nd.prim != nil:
+			c.sel = int32(nd.sel.ID())
+			c.tval = int32(nd.tval.ID())
+			c.fval = int32(nd.fval.ID())
+		case nkPrim:
 			c.kind = nkPrim
 			c.prim = nd.prim
-		default:
+		case nkBuf:
 			c.kind = nkBuf
-			srcs := nd.buf.Sources()
-			c.bufIDs = make([]int32, len(srcs))
-			for k, src := range srcs {
+			c.bufIDs = make([]int32, len(nd.srcs))
+			for k, src := range nd.srcs {
 				c.bufIDs[k] = int32(src.ID())
+			}
+		case nkCopy:
+			c.kind = nkCopy
+			c.sel = int32(nd.sel.ID())
+		case nkConst:
+			c.kind = nkConst
+			c.constVal = nd.constVal
+		case nkChain:
+			c.kind = nkChain
+			c.fval = int32(nd.fval.ID())
+			c.chain = make([]int32, len(nd.chain))
+			for k, sig := range nd.chain {
+				c.chain[k] = int32(sig.ID())
 			}
 		}
 		s.order[i] = c
 	}
+	s.init = append([]uint64(nil), n.Values()...)
 	return s, nil
 }
 
 // Netlist returns the simulated netlist.
 func (s *Simulator) Netlist() *hdl.Netlist { return s.net }
+
+// Stats returns what the compile pipeline did to the netlist.
+func (s *Simulator) Stats() CompileStats { return s.stats }
+
+// Reset restores every signal to its construction-time value and rewinds the
+// netlist clock to cycle 0, so one simulator instance executes back-to-back
+// runs from identical state. The restore writes the value plane directly,
+// bypassing watch hooks — observers that mirror signal state (monitor.New)
+// must re-baseline afterwards, which monitor's Reset does by recounting.
+func (s *Simulator) Reset() {
+	copy(s.net.Values(), s.init)
+	for i := range s.next {
+		s.next[i] = 0
+	}
+	s.net.SetCycle(0)
+}
 
 // Eval settles all combinational logic for the current cycle. Values
 // destined for registers are staged in the next slice and only latched by
@@ -235,9 +281,20 @@ func (s *Simulator) Eval() {
 			}
 		case nkPrim:
 			v = nd.prim.Compute()
-		default:
+		case nkBuf:
 			for _, id := range nd.bufIDs {
 				v |= vals[id]
+			}
+		case nkCopy:
+			v = vals[nd.sel]
+		case nkConst:
+			v = nd.constVal
+		default: // nkChain: priority order, entry 0 strongest
+			v = vals[nd.fval]
+			for k := len(nd.chain) - 2; k >= 0; k -= 2 {
+				if vals[nd.chain[k]] != 0 {
+					v = vals[nd.chain[k+1]]
+				}
 			}
 		}
 		if nd.regSlot >= 0 {

@@ -10,8 +10,10 @@
 package sonar
 
 import (
+	"fmt"
 	"testing"
 
+	"sonar/internal/fuzz"
 	"sonar/internal/hdl"
 	"sonar/internal/hdl/gen"
 	"sonar/internal/monitor"
@@ -98,6 +100,51 @@ func BenchmarkCampaignLanes1(b *testing.B) {
 		return hdl.Lanes * laneBenchCycles
 	})
 }
+
+// netBenchIters is the campaign length of the netlist campaign benchmarks —
+// short enough for CI, long enough that DUT construction amortizes out.
+const netBenchIters = 128
+
+// netCampaignCfg is the netlist campaign benchmark design: the lane bench
+// cascade shape, but arbiter-dense so the monitored cones cover most of the
+// netlist. The campaign compile pipeline keeps only the monitored cone
+// (plus kept outputs); on a sparse design that elimination speeds the
+// scalar side far more than the already memory-bound lane side, and the
+// pair would measure the dead-logic fraction instead of the lane engine.
+var netCampaignCfg = gen.Config{
+	Seed: 11, Nodes: 384, Regs: 16, Arbiters: 32, MaxWidth: 4, PrimShare: -1,
+}
+
+// benchmarkCampaignNetlist runs a full single-worker fuzzing campaign
+// (mutation, selection, monitoring, corpus feedback — everything) over a
+// fuzz.LaneDUT on the lane benchmark netlist, at the given Options.Lanes.
+// Unlike the evaluator-only CampaignLanes pair above, this measures what the
+// lane engine delivers end to end: the per-iteration scalar work (feedback,
+// snapshots, bookkeeping) is identical at every width, so the
+// CampaignNetlistLanes64/CampaignNetlistLanes1 ratio is the campaign-level
+// lane speedup the benchguard floor (-campaign-lane-speedup, default 8x)
+// enforces.
+func benchmarkCampaignNetlist(b *testing.B, lanes int) {
+	factory, err := fuzz.LaneDUTFactory(func() (*hdl.Netlist, error) {
+		return gen.New(netCampaignCfg)
+	}, laneBenchCycles, laneBenchHold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := fuzz.SonarOptions(netBenchIters)
+	opt.Workers = 1
+	opt.Lanes = lanes
+	recordThroughput(b, fmt.Sprintf("CampaignNetlistLanes%d", lanes), netBenchIters, func() int64 {
+		st := fuzz.RunParallelExec(factory, opt)
+		if len(st.PerIteration) != netBenchIters {
+			b.Fatal("campaign incomplete")
+		}
+		return st.ExecutedCycles
+	})
+}
+
+func BenchmarkCampaignNetlistLanes1(b *testing.B)  { benchmarkCampaignNetlist(b, 1) }
+func BenchmarkCampaignNetlistLanes64(b *testing.B) { benchmarkCampaignNetlist(b, 64) }
 
 // BenchmarkCampaignLanes64 is the bit-parallel side: the same hdl.Lanes
 // testcases evaluated in one LaneSimulator pass with a LaneBank monitoring
