@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOnce captures one CLI invocation.
+func runOnce(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestAuditDeterministicOutput pins the acceptance criterion: for a fixed
+// (design, spec), repeated invocations produce byte-identical output in
+// every format. CI runs the package under -race, extending the guarantee.
+func TestAuditDeterministicOutput(t *testing.T) {
+	for _, format := range []string{"text", "json", "dot"} {
+		t.Run(format, func(t *testing.T) {
+			code1, out1, _ := runOnce(t, "-format", format, "gen:1")
+			code2, out2, _ := runOnce(t, "-format", format, "gen:1")
+			if code1 != 0 || code2 != 0 {
+				t.Fatalf("exit codes %d, %d; want 0", code1, code2)
+			}
+			if out1 != out2 {
+				t.Errorf("%s output differs between identical runs", format)
+			}
+			if len(out1) == 0 {
+				t.Error("empty report")
+			}
+		})
+	}
+}
+
+// TestAuditExplicitSpecDeterministic extends the byte-identity pin to an
+// explicit secret/attacker designation on a bundled DUT.
+func TestAuditExplicitSpecDeterministic(t *testing.T) {
+	args := []string{"-secret", "*_bits_data", "-attacker", "*_valid", "nutshell"}
+	code1, out1, _ := runOnce(t, args...)
+	code2, out2, _ := runOnce(t, args...)
+	if code1 != code2 {
+		t.Fatalf("exit codes differ: %d vs %d", code1, code2)
+	}
+	if out1 != out2 {
+		t.Error("output differs between identical runs")
+	}
+}
+
+// TestAuditBundledDUTsClean mirrors the CI smoke gate: boom, nutshell, and
+// gen:1 must be free of Error-severity findings.
+func TestAuditBundledDUTsClean(t *testing.T) {
+	for _, design := range []string{"boom", "nutshell", "gen:1"} {
+		code, out, errOut := runOnce(t, design)
+		if code != 0 {
+			t.Errorf("%s: exit %d\nstdout:\n%s\nstderr:\n%s", design, code, out, errOut)
+		}
+		if !strings.Contains(out, "netlist") || !strings.Contains(out, "rank") {
+			t.Errorf("%s: report incomplete:\n%s", design, out)
+		}
+	}
+}
+
+// TestAuditUnmatchedPatternFails pins the nonzero exit on Error findings.
+func TestAuditUnmatchedPatternFails(t *testing.T) {
+	code, out, _ := runOnce(t, "-secret", "no.such.signal", "gen:1")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "unmatched-pattern") {
+		t.Errorf("report lacks the finding:\n%s", out)
+	}
+}
+
+// TestAuditFIRRTLFile exercises the firrtl:<path> design source.
+func TestAuditFIRRTLFile(t *testing.T) {
+	src := `
+circuit Lsu :
+  module Lsu :
+    input io_ldq_valid : UInt<1>
+    input io_ldq_bits_idx : UInt<5>
+    input io_stq_valid : UInt<1>
+    input io_stq_bits_idx : UInt<5>
+    input io_fwd_valid : UInt<1>
+    input io_fwd_bits_idx : UInt<5>
+    input sel_ldq : UInt<1>
+    input sel_stq : UInt<1>
+    output ldq_stq_idx : UInt<5>
+    ldq_stq_idx <= mux(sel_ldq, io_ldq_bits_idx, mux(sel_stq, io_stq_bits_idx, io_fwd_bits_idx))
+`
+	path := filepath.Join(t.TempDir(), "lsu.fir")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runOnce(t, "firrtl:"+path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Lsu") {
+		t.Errorf("report lacks the design name:\n%s", out)
+	}
+
+	if code, _, _ := runOnce(t, "firrtl:"+filepath.Join(t.TempDir(), "missing.fir")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code, _, _ := runOnce(t, "widget"); code != 2 {
+		t.Errorf("unknown design: exit %d, want 2", code)
+	}
+}

@@ -4,36 +4,46 @@
 //
 // Usage:
 //
-//	sonar-trace [-requests] [-dot ID] file.fir
+//	sonar-trace [-requests] [-audit] [-dot ID] file.fir
 //	sonar-trace -dut boom|nutshell   # analyze a bundled DUT netlist instead
 //
 // -requests lists every contention point with its requests and validity
-// conjunctions; -dot emits the Graphviz DOT tree of one point and exits.
+// conjunctions; -audit runs the information-flow audit (internal/hdl/flow)
+// and adds rank and taint columns to the per-point listing; -dot emits the
+// Graphviz DOT tree of one point and exits (-dot -1 with -audit emits the
+// audit's surface graph instead).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"sort"
 
 	"sonar/internal/boom"
 	"sonar/internal/firrtl"
 	"sonar/internal/hdl"
+	"sonar/internal/hdl/flow"
 	"sonar/internal/nutshell"
 	"sonar/internal/trace"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sonar-trace: ")
+// run executes the CLI against args (without the program name), writing to
+// out and errOut, and returns the exit code.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("sonar-trace", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		dut      = flag.String("dut", "", "analyze a bundled DUT netlist (boom or nutshell) instead of a file")
-		requests = flag.Bool("requests", false, "list every contention point with its requests and valids")
-		dot      = flag.Int("dot", -1, "emit the Graphviz DOT tree of the given contention point ID and exit")
+		dut      = fs.String("dut", "", "analyze a bundled DUT netlist (boom or nutshell) instead of a file")
+		requests = fs.Bool("requests", false, "list every contention point with its requests and valids")
+		audit    = fs.Bool("audit", false, "run the information-flow audit and show rank + taint columns")
+		dot      = fs.Int("dot", -1, "emit the Graphviz DOT tree of the given contention point ID and exit")
+		dotAll   = fs.Bool("dot-surface", false, "with -audit, emit the audit's whole-surface DOT graph and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var net *hdl.Netlist
 	switch {
@@ -42,35 +52,52 @@ func main() {
 	case *dut == "nutshell":
 		net = nutshell.New().Net
 	case *dut != "":
-		log.Fatalf("unknown DUT %q", *dut)
-	case flag.NArg() == 1:
-		src, err := os.ReadFile(flag.Arg(0))
+		fmt.Fprintf(errOut, "sonar-trace: unknown DUT %q\n", *dut)
+		return 2
+	case fs.NArg() == 1:
+		src, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(errOut, "sonar-trace: %v\n", err)
+			return 2
 		}
 		net, err = firrtl.ParseChecked(string(src))
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(errOut, "sonar-trace: %v\n", err)
+			return 2
 		}
 	default:
-		log.Fatal("usage: sonar-trace [-requests] [-dot ID] file.fir | sonar-trace -dut boom|nutshell")
+		fmt.Fprintln(errOut, "usage: sonar-trace [-requests] [-audit] [-dot ID] file.fir | sonar-trace -dut boom|nutshell")
+		return 2
 	}
 
 	a := trace.Analyze(net)
+	var au *flow.Audit
+	if *audit {
+		au = flow.Analyze(net, a, flow.Spec{})
+	}
+	if *dotAll {
+		if au == nil {
+			fmt.Fprintln(errOut, "sonar-trace: -dot-surface requires -audit")
+			return 2
+		}
+		fmt.Fprint(out, au.DOT())
+		return 0
+	}
 	if *dot >= 0 {
 		if *dot >= len(a.Points) {
-			log.Fatalf("point %d out of range (%d points)", *dot, len(a.Points))
+			fmt.Fprintf(errOut, "sonar-trace: point %d out of range (%d points)\n", *dot, len(a.Points))
+			return 2
 		}
-		fmt.Print(a.Points[*dot].DOT())
-		return
+		fmt.Fprint(out, a.Points[*dot].DOT())
+		return 0
 	}
-	fmt.Printf("circuit %s: %d signals, %d 2:1 MUXes\n", net.Name(), net.NumSignals(), net.NumMuxes())
-	fmt.Printf("bottom-up tracing: %d contention points (%.1f%% below naive 2:1 counting)\n",
+	fmt.Fprintf(out, "circuit %s: %d signals, %d 2:1 MUXes\n", net.Name(), net.NumSignals(), net.NumMuxes())
+	fmt.Fprintf(out, "bottom-up tracing: %d contention points (%.1f%% below naive 2:1 counting)\n",
 		len(a.Points), 100*(1-float64(len(a.Points))/float64(a.NaiveMuxCount)))
 	mon := a.Monitored()
-	fmt.Printf("risk filter: %d monitorable points (%.1f%% filtered out)\n",
+	fmt.Fprintf(out, "risk filter: %d monitorable points (%.1f%% filtered out)\n",
 		len(mon), 100*(1-float64(len(mon))/float64(len(a.Points))))
-	fmt.Println("distribution:")
+	fmt.Fprintln(out, "distribution:")
 	byComp := a.ByComponent()
 	comps := make([]string, 0, len(byComp))
 	for comp := range byComp {
@@ -79,34 +106,75 @@ func main() {
 	sort.Strings(comps)
 	for _, comp := range comps {
 		n := byComp[comp]
-		fmt.Printf("  %-14s %6d traced %6d monitored\n", comp, n[0], n[1])
+		fmt.Fprintf(out, "  %-14s %6d traced %6d monitored\n", comp, n[0], n[1])
+	}
+	if au != nil {
+		printAudit(out, au)
 	}
 	if !*requests {
-		return
+		return 0
 	}
 	for _, p := range a.Points {
 		status := "monitored"
 		if !p.Monitorable() {
 			status = "filtered"
 		}
-		fmt.Printf("\npoint %d: %s (%d:1, %s)\n", p.ID, p.Out.Name(), p.Fanin(), status)
+		fmt.Fprintf(out, "\npoint %d: %s (%d:1, %s)", p.ID, p.Out.Name(), p.Fanin(), status)
+		if au != nil {
+			if pa := auditOf(au, p.ID); pa != nil {
+				fmt.Fprintf(out, " rank %d taint %s", pa.Rank, pa.ConeTaint)
+			}
+		}
+		fmt.Fprintln(out)
 		for i := range p.Requests {
 			r := &p.Requests[i]
 			switch {
 			case r.Data.IsConst():
-				fmt.Printf("  req %d: %s = const %d\n", i, r.Data.Name(), r.Data.Value())
+				fmt.Fprintf(out, "  req %d: %s = const %d\n", i, r.Data.Name(), r.Data.Value())
 			case !r.HasValid():
-				fmt.Printf("  req %d: %s (constantly valid)\n", i, r.Data.Name())
+				fmt.Fprintf(out, "  req %d: %s (constantly valid)\n", i, r.Data.Name())
 			default:
-				fmt.Printf("  req %d: %s valid:", i, r.Data.Name())
+				fmt.Fprintf(out, "  req %d: %s valid:", i, r.Data.Name())
 				for _, v := range r.Valids {
-					fmt.Printf(" %s", v.Name())
+					fmt.Fprintf(out, " %s", v.Name())
 				}
 				if r.Derived() {
-					fmt.Print(" (derived)")
+					fmt.Fprint(out, " (derived)")
 				}
-				fmt.Println()
+				fmt.Fprintln(out)
 			}
 		}
 	}
+	return 0
+}
+
+// printAudit appends the information-flow audit's ranked table to the
+// component report: one row per point, highest placement rank first, with
+// the taint, shared-fanin, and cone-depth columns the scoring sorts by.
+func printAudit(out io.Writer, au *flow.Audit) {
+	fmt.Fprintf(out, "flow audit: %d surface cascades, %d/%d points tainted, %d taint-pairs\n",
+		len(au.Surface), au.TaintedPoints(), len(au.Points), au.TaintPairPoints())
+	fmt.Fprintf(out, "  %4s %5s %5s %6s %6s  %s\n", "rank", "point", "taint", "shared", "depth", "output")
+	for _, pa := range au.Points {
+		fmt.Fprintf(out, "  %4d %5d %5s %6d %6d  %s\n",
+			pa.Rank, pa.Point.ID, pa.ConeTaint, pa.SharedFanin, pa.ConeDepth, pa.Point.Out.Name())
+	}
+	for _, f := range au.Findings {
+		fmt.Fprintf(out, "  finding: %s\n", f)
+	}
+}
+
+// auditOf returns the audited verdict for a point id.
+func auditOf(au *flow.Audit, id int) *flow.PointAudit {
+	for _, pa := range au.Points {
+		if pa.Point.ID == id {
+			return pa
+		}
+	}
+	return nil
+}
+
+// main dispatches to run over the real process streams.
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

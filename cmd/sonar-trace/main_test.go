@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fig3 is the paper's Figure 3 LSU arbiter, the repo-wide reference circuit.
+const fig3 = `
+circuit Lsu :
+  module Lsu :
+    input io_ldq_valid : UInt<1>
+    input io_ldq_bits_idx : UInt<5>
+    input io_stq_valid : UInt<1>
+    input io_stq_bits_idx : UInt<5>
+    input io_fwd_valid : UInt<1>
+    input io_fwd_bits_idx : UInt<5>
+    input sel_ldq : UInt<1>
+    input sel_stq : UInt<1>
+    output ldq_stq_idx : UInt<5>
+    ldq_stq_idx <= mux(sel_ldq, io_ldq_bits_idx, mux(sel_stq, io_stq_bits_idx, io_fwd_bits_idx))
+`
+
+// runOnce captures one CLI invocation.
+func runOnce(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// fig3File writes the reference circuit to a temp file.
+func fig3File(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lsu.fir")
+	if err := os.WriteFile(path, []byte(fig3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenAuditReport pins the exact -audit -requests report for the
+// Figure 3 circuit: the component table, the flow audit's rank/taint table,
+// and the per-point rank + taint annotations.
+func TestGoldenAuditReport(t *testing.T) {
+	code, out, errOut := runOnce(t, "-audit", "-requests", fig3File(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	const golden = `circuit Lsu: 10 signals, 2 2:1 MUXes
+bottom-up tracing: 1 contention points (50.0% below naive 2:1 counting)
+risk filter: 1 monitorable points (0.0% filtered out)
+distribution:
+  Lsu                 1 traced      1 monitored
+flow audit: 1 surface cascades, 1/1 points tainted, 1 taint-pairs
+  rank point taint shared  depth  output
+     0     0    SA      0      0  Lsu.ldq_stq_idx
+
+point 0: Lsu.ldq_stq_idx (3:1, monitored) rank 0 taint SA
+  req 0: Lsu.io_ldq_bits_idx valid: Lsu.io_ldq_valid
+  req 1: Lsu.io_stq_bits_idx valid: Lsu.io_stq_valid
+  req 2: Lsu.io_fwd_bits_idx valid: Lsu.io_fwd_valid
+`
+	if out != golden {
+		t.Errorf("report drifted from golden output:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+}
+
+// TestAuditColumnsOnDUT checks the -audit table renders on a bundled DUT and
+// is byte-identical across runs.
+func TestAuditColumnsOnDUT(t *testing.T) {
+	code1, out1, _ := runOnce(t, "-dut", "nutshell", "-audit")
+	code2, out2, _ := runOnce(t, "-dut", "nutshell", "-audit")
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes %d, %d; want 0", code1, code2)
+	}
+	if out1 != out2 {
+		t.Error("audit report differs between identical runs")
+	}
+	if !strings.Contains(out1, "flow audit:") || !strings.Contains(out1, "rank point taint") {
+		t.Errorf("report lacks the audit table:\n%s", out1)
+	}
+}
+
+// TestDotSurface exercises the audit's whole-surface DOT export and its
+// -audit requirement.
+func TestDotSurface(t *testing.T) {
+	path := fig3File(t)
+	code, out, _ := runOnce(t, "-audit", "-dot-surface", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "digraph audit_") {
+		t.Errorf("not an audit DOT graph:\n%s", out)
+	}
+	if code, _, errOut := runOnce(t, "-dot-surface", path); code != 2 || !strings.Contains(errOut, "-audit") {
+		t.Errorf("-dot-surface without -audit: exit %d, stderr %q; want 2 + hint", code, errOut)
+	}
+}
+
+// TestPointDot pins the single-point DOT path and its range check.
+func TestPointDot(t *testing.T) {
+	path := fig3File(t)
+	code, out, _ := runOnce(t, "-dot", "0", path)
+	if code != 0 || !strings.HasPrefix(out, "digraph") {
+		t.Errorf("-dot 0: exit %d, output:\n%s", code, out)
+	}
+	if code, _, _ := runOnce(t, "-dot", "99", path); code != 2 {
+		t.Errorf("-dot out of range: exit %d, want 2", code)
+	}
+}
+
+// TestUsageErrors pins the exit-2 diagnostics.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runOnce(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runOnce(t, "-dut", "widget"); code != 2 {
+		t.Errorf("unknown DUT: exit %d, want 2", code)
+	}
+	if code, _, _ := runOnce(t, filepath.Join(t.TempDir(), "missing.fir")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

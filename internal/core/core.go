@@ -11,6 +11,7 @@ import (
 
 	"sonar/internal/attack"
 	"sonar/internal/fuzz"
+	"sonar/internal/hdl/flow"
 	"sonar/internal/obs"
 	"sonar/internal/trace"
 	"sonar/internal/uarch"
@@ -23,6 +24,10 @@ type Sonar struct {
 	// mk rebuilds the SoC, so parallel campaigns can elaborate one private
 	// DUT per worker.
 	mk func() *uarch.SoC
+	// audit caches the static information-flow audit of the DUT, computed
+	// on first use (Audit) and published as sonar_flow_* gauges alongside
+	// the identification gauges.
+	audit *flow.Audit
 }
 
 // New analyzes and instruments a SoC built by mk, returning a ready-to-fuzz
@@ -140,14 +145,35 @@ func (s *Sonar) newDUT() *fuzz.DUT {
 	return fuzz.NewDUTWithAnalysis(s.mk(), s.DUT.Analysis)
 }
 
-// observeIdentification publishes the §5 static-analysis results as gauges
-// on the campaign Observer (idempotent; no-op for a nil Observer).
+// Audit returns the static information-flow audit of the DUT
+// (internal/hdl/flow) under the heuristic source designation, computed once
+// and cached.
+func (s *Sonar) Audit() *flow.Audit {
+	if s.audit == nil {
+		s.audit = flow.Analyze(s.DUT.Analysis.Netlist, s.DUT.Analysis, flow.Spec{})
+	}
+	return s.audit
+}
+
+// observeIdentification publishes the §5 static-analysis results and the
+// information-flow audit as gauges on the campaign Observer (idempotent;
+// no-op for a nil Observer).
 func (s *Sonar) observeIdentification(o *obs.Observer) {
 	if o == nil {
 		return
 	}
 	r := s.Identify()
 	o.DUTInfo(r.Design, r.NaiveMuxes, r.TracedPoints, r.MonitoredPoints)
+	au := s.Audit()
+	info, errs := 0, 0
+	for _, f := range au.Findings {
+		if f.Severity == flow.Error {
+			errs++
+		} else {
+			info++
+		}
+	}
+	o.FlowInfo(len(au.Surface), au.TaintedPoints(), au.TaintPairPoints(), info, errs)
 }
 
 // Point returns the contention point with the given ID.

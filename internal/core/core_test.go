@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sonar/internal/fuzz"
+	"sonar/internal/obs"
 	"sonar/internal/uarch"
 )
 
@@ -62,5 +63,39 @@ func TestFuzzParallelThroughFacade(t *testing.T) {
 		if a.PerIteration[i] != b.PerIteration[i] {
 			t.Fatalf("facade dispatch diverged at iteration %d", i)
 		}
+	}
+}
+
+// A campaign with an attached Observer must publish the information-flow
+// audit gauges (sonar_flow_*) alongside the identification gauges, and the
+// cached audit must be clean on the bundled DUT.
+func TestFlowGaugesPublished(t *testing.T) {
+	s := New(func() *uarch.SoC { return uarch.NewSoC(uarch.BoomConfig(), 1, nil, nil) })
+	opt := fuzz.SonarOptions(3)
+	opt.Observer = obs.New()
+	s.Fuzz(opt)
+
+	au := s.Audit()
+	if !au.OK() {
+		t.Fatalf("audit not clean: %v", au.Err())
+	}
+	if s.Audit() != au {
+		t.Error("Audit() not cached")
+	}
+	series, err := obs.ParseExposition(opt.Observer.Metrics.ExpositionText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := series[obs.MetricFlowSurface]; got != float64(len(au.Surface)) {
+		t.Errorf("%s = %v, want %d", obs.MetricFlowSurface, got, len(au.Surface))
+	}
+	if got := series[obs.MetricFlowTainted]; got != float64(au.TaintedPoints()) {
+		t.Errorf("%s = %v, want %d", obs.MetricFlowTainted, got, au.TaintedPoints())
+	}
+	if got := series[obs.MetricFlowTaintPairs]; got != float64(au.TaintPairPoints()) {
+		t.Errorf("%s = %v, want %d", obs.MetricFlowTaintPairs, got, au.TaintPairPoints())
+	}
+	if _, ok := series[obs.MetricFlowFindings+`{severity="error"}`]; !ok {
+		t.Errorf("%s{severity=\"error\"} absent from exposition", obs.MetricFlowFindings)
 	}
 }

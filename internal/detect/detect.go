@@ -7,6 +7,7 @@ package detect
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"sonar/internal/monitor"
@@ -108,7 +109,9 @@ type StateDiff struct {
 }
 
 // StateCompare performs the contention-state differential between two
-// instrumented executions, returning the points whose states deviate.
+// instrumented executions, returning the points whose states deviate,
+// sorted by point ID so the result is invariant under monitor placement
+// order (both snapshots must share one placement).
 func StateCompare(a, b *monitor.Snapshot) []StateDiff {
 	n := len(a.Points)
 	if len(b.Points) < n {
@@ -144,6 +147,7 @@ func StateCompare(a, b *monitor.Snapshot) []StateDiff {
 			Persistent: pa.PersistentCandidate || pb.PersistentCandidate,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PointID < out[j].PointID })
 	return out
 }
 

@@ -25,6 +25,7 @@ import (
 	"sonar/internal/firrtl"
 	"sonar/internal/fuzz"
 	"sonar/internal/hdl"
+	"sonar/internal/hdl/flow"
 	"sonar/internal/nutshell"
 	"sonar/internal/obs"
 	"sonar/internal/trace"
@@ -163,6 +164,65 @@ type AnalysisResult struct {
 	MonitoredPoints int `json:"monitored_points"`
 	// ByComponent maps component name to [traced, monitored] counts.
 	ByComponent map[string][2]int `json:"by_component"`
+	// Audit is the static information-flow audit summary of the design.
+	Audit *AuditSummary `json:"audit,omitempty"`
+}
+
+// AuditSummary is the API's view of a design's information-flow audit
+// (internal/hdl/flow), attached to every FIRRTL campaign at submission.
+type AuditSummary struct {
+	// SurfaceCascades is the number of arbitration MUX cascades in the
+	// contention surface. Zero is rejected at submission: such a design has
+	// nothing to monitor.
+	SurfaceCascades int `json:"surface_cascades"`
+	// TaintedPoints counts contention points reached by any taint label
+	// under the heuristic source designation.
+	TaintedPoints int `json:"tainted_points"`
+	// TaintPairPoints counts points reached by both secret and attacker
+	// taint — the statically channel-capable points.
+	TaintPairPoints int `json:"taint_pair_points"`
+	// TopPoints is the audit's placement rank order (monitorable point IDs,
+	// highest risk first), truncated to the first auditTopPoints entries.
+	TopPoints []int `json:"top_points,omitempty"`
+	// InfoFindings counts the audit's Info-severity findings.
+	InfoFindings int `json:"info_findings"`
+	// ErrorFindings counts Error-severity findings; a submission with any
+	// is rejected, so a stored summary always reports zero.
+	ErrorFindings int `json:"error_findings"`
+}
+
+// auditTopPoints caps the rank order echoed in an AuditSummary.
+const auditTopPoints = 16
+
+// auditFIRRTL audits a parsed FIRRTL design for submission: campaigns get
+// the summary attached, and designs the audit proves unmonitorable — an
+// empty contention surface or a cross-check discrepancy — are rejected
+// before any lease is opened.
+func auditFIRRTL(n *hdl.Netlist, a *trace.Analysis) (*AuditSummary, error) {
+	au := flow.Analyze(n, a, flow.Spec{})
+	if len(au.Surface) == 0 {
+		return nil, fmt.Errorf("%w: firrtl: design %s has an empty contention surface (no arbitration MUX cascades); nothing to monitor", errBadRequest, n.Name())
+	}
+	if err := au.Err(); err != nil {
+		return nil, fmt.Errorf("%w: firrtl audit: %v", errBadRequest, err)
+	}
+	sum := &AuditSummary{
+		SurfaceCascades: len(au.Surface),
+		TaintedPoints:   au.TaintedPoints(),
+		TaintPairPoints: au.TaintPairPoints(),
+		TopPoints:       au.MonitorRankIDs(),
+	}
+	if len(sum.TopPoints) > auditTopPoints {
+		sum.TopPoints = sum.TopPoints[:auditTopPoints]
+	}
+	for _, f := range au.Findings {
+		if f.Severity == flow.Error {
+			sum.ErrorFindings++
+		} else {
+			sum.InfoFindings++
+		}
+	}
+	return sum, nil
 }
 
 // CampaignStatus is the API's view of one campaign.
@@ -194,6 +254,8 @@ type CampaignStatus struct {
 	CorpusSize int `json:"corpus_size,omitempty"`
 	// GrantedLeases is the number of currently outstanding leases.
 	GrantedLeases int `json:"granted_leases,omitempty"`
+	// Audit is the information-flow audit summary (FIRRTL campaigns).
+	Audit *AuditSummary `json:"audit,omitempty"`
 }
 
 // Result is a campaign's final result.
@@ -256,6 +318,7 @@ type campaign struct {
 	lc       *fuzz.LeaseCoordinator // fuzz campaigns only
 	sink     *obs.MemorySink        // backs the events download
 	analysis *AnalysisResult        // analysis campaigns only
+	audit    *AuditSummary          // FIRRTL campaigns: information-flow audit
 
 	// Open-round churn bookkeeping, reset when the round advances.
 	lastRound int
@@ -326,7 +389,7 @@ func NewController(cfg Config) *Controller {
 		factories: make(map[string]func() *fuzz.DUT),
 		byID:      make(map[string]*campaign),
 		leases:    make(map[string]*lease),
-		now:       time.Now,
+		now:       time.Now, //sonar:nondeterministic-ok lease TTL/expiry is wall-clock by design; campaign outputs never fold over it (tests inject a fake clock)
 		metrics:   m,
 
 		campaignsTotal: m.Counter(MetricCampaigns, "Campaigns submitted."),
@@ -381,14 +444,20 @@ func (ct *Controller) Submit(spec *Spec) (*CampaignStatus, error) {
 			return nil, fmt.Errorf("%w: firrtl: %v", errBadRequest, err)
 		}
 		a := trace.Analyze(net)
+		sum, err := auditFIRRTL(net, a)
+		if err != nil {
+			return nil, err
+		}
 		c.kind = "analysis"
 		c.dutName = net.Name()
+		c.audit = sum
 		c.analysis = &AnalysisResult{
 			Design:          net.Name(),
 			NaiveMuxes:      a.NaiveMuxCount,
 			TracedPoints:    len(a.Points),
 			MonitoredPoints: len(a.Monitored()),
 			ByComponent:     a.ByComponent(),
+			Audit:           sum,
 		}
 	case spec.FIRRTL != "":
 		// Executable netlist campaign: the source elaborates into a
@@ -402,8 +471,14 @@ func (ct *Controller) Submit(spec *Spec) (*CampaignStatus, error) {
 			return nil, fmt.Errorf("%w: firrtl: %v", errBadRequest, err)
 		}
 		d := factory()
+		an := d.ContentionAnalysis()
+		sum, err := auditFIRRTL(an.Netlist, an)
+		if err != nil {
+			return nil, err
+		}
 		c.kind = "fuzz"
-		c.dutName = d.ContentionAnalysis().Netlist.Name()
+		c.dutName = an.Netlist.Name()
+		c.audit = sum
 		c.firrtl = src
 		c.sink = obs.NewMemorySink()
 		opt := spec.Options.Options()
@@ -661,7 +736,7 @@ func (ct *Controller) Health() *Health {
 func (ct *Controller) sweepLocked() {
 	now := ct.now()
 	var due []*lease
-	for _, l := range ct.leases {
+	for _, l := range ct.leases { //sonar:nondeterministic-ok expiry candidates are collected then sorted by lease id before any state change
 		if !l.expires.After(now) {
 			due = append(due, l)
 		}
@@ -730,6 +805,7 @@ func (ct *Controller) statusLocked(c *campaign) *CampaignStatus {
 		State: "running",
 		DUT:   c.dutName,
 		Lanes: c.lanes,
+		Audit: c.audit,
 	}
 	if c.done() {
 		s.State = "done"

@@ -601,3 +601,57 @@ func TestAPIFirrtlFuzzCampaign(t *testing.T) {
 		t.Errorf("distributed stats differ from local run:\n%s\nvs\n%s", gotWire, wantWire)
 	}
 }
+
+// muxless is a structurally valid FIRRTL circuit with no arbitration at
+// all: the flow audit proves its contention surface empty, so submission
+// must be rejected with 400.
+const muxless = `
+circuit Pass :
+  module Pass :
+    input io_in : UInt<5>
+    output io_out : UInt<5>
+    io_out <= io_in
+`
+
+// FIRRTL submissions carry the information-flow audit summary, and designs
+// whose contention surface is empty are rejected before any campaign state
+// is created.
+func TestAPIAuditSummaryAndEmptySurfaceRejection(t *testing.T) {
+	client, _ := newTestServer(t, Config{})
+
+	st, err := client.Submit(&Spec{FIRRTL: fig3})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.Audit == nil {
+		t.Fatal("status carries no audit summary")
+	}
+	if st.Audit.SurfaceCascades != 1 || st.Audit.ErrorFindings != 0 {
+		t.Errorf("unexpected audit summary %+v", st.Audit)
+	}
+	if st.Audit.TaintPairPoints == 0 {
+		t.Errorf("fig3 has steerable selects and secret-width data, want taint pairs: %+v", st.Audit)
+	}
+	res, err := client.Result(st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if res.Analysis == nil || res.Analysis.Audit == nil {
+		t.Fatal("analysis result carries no audit summary")
+	}
+
+	_, err = client.Submit(&Spec{FIRRTL: muxless})
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != 400 {
+		t.Fatalf("empty-surface submission: got %v, want APIError 400", err)
+	}
+
+	shape := testShape(8, 1, 8)
+	fst, err := client.Submit(&Spec{FIRRTL: fig3, Options: shape})
+	if err != nil {
+		t.Fatalf("Submit executable: %v", err)
+	}
+	if fst.Audit == nil || fst.Audit.SurfaceCascades != 1 {
+		t.Fatalf("executable FIRRTL campaign carries no audit summary: %+v", fst.Audit)
+	}
+}

@@ -1,0 +1,52 @@
+// This file orders monitor placement by the static information-flow audit
+// (internal/hdl/flow): highest-risk contention points get their monitors
+// first. Placement is pure ordering — the instrumented point *set* is still
+// exactly trace.Analysis.Monitored(), and every campaign output that could
+// observe order (Snapshot.Triggered, detect.StateCompare, the interval
+// maps) is ID-keyed or ID-sorted — so campaign event streams, checkpoints,
+// and stats stay byte-identical to the pre-audit ordering.
+
+package fuzz
+
+import (
+	"sync"
+
+	"sonar/internal/hdl/flow"
+	"sonar/internal/trace"
+)
+
+// auditRanks caches each shared analysis' monitorable rank order, keyed by
+// the pre-rebind *trace.Analysis pointer the campaign passes around: every
+// worker of a campaign shares one analysis, so the flow audit runs once per
+// campaign, not once per worker. Rank entries are point IDs, which are
+// stable across independently elaborated instances (trace.Analysis.Rebind),
+// so one cached slice serves every rebound copy.
+var auditRanks sync.Map // *trace.Analysis -> []int
+
+// disableAuditPlacement reverts monitors to the pre-audit ascending-ID
+// placement. Test hook: the byte-identity test pins rank-ordered campaigns
+// against this baseline.
+var disableAuditPlacement bool
+
+// monitorPlacement returns the audit-ranked point list for a monitor over
+// the (possibly rebound) analysis a. key is the campaign's shared analysis
+// identity; rank IDs computed once under it are replayed onto a's points.
+func monitorPlacement(key, a *trace.Analysis) []*trace.Point {
+	if disableAuditPlacement {
+		return nil
+	}
+	v, ok := auditRanks.Load(key)
+	if !ok {
+		au := flow.Analyze(a.Netlist, a, flow.Spec{})
+		// LoadOrStore keeps the winner stable if two workers race here;
+		// both computed the same IDs (the audit is deterministic), so
+		// either result is the same bytes.
+		v, _ = auditRanks.LoadOrStore(key, au.MonitorRankIDs())
+	}
+	ids := v.([]int)
+	pts := make([]*trace.Point, len(ids))
+	for i, id := range ids {
+		pts[i] = a.Points[id]
+	}
+	return pts
+}

@@ -1,0 +1,61 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"sonar/internal/hdl/gen"
+	"sonar/internal/trace"
+)
+
+// TestAuditPlacementByteIdentity pins the placement acceptance criterion:
+// ordering monitors by the flow audit's rank must leave every campaign
+// output byte-identical to the pre-audit ascending-ID placement — and the
+// test first proves the permutation is non-trivial on the campaign's
+// design, so the identity is earned, not vacuous.
+func TestAuditPlacementByteIdentity(t *testing.T) {
+	n, err := gen.New(netTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Analyze(n)
+	ranked := monitorPlacement(a, a)
+	asc := a.Monitored()
+	if len(ranked) != len(asc) {
+		t.Fatalf("rank order has %d points, Monitored has %d", len(ranked), len(asc))
+	}
+	nontrivial := false
+	for i := range ranked {
+		if ranked[i] != asc[i] {
+			nontrivial = true
+			break
+		}
+	}
+	if !nontrivial {
+		t.Fatal("audit rank equals ascending-ID order on the test design; the identity below would be vacuous")
+	}
+
+	type result struct {
+		stats  *Stats
+		stream []byte
+	}
+	run := func(baseline bool) result {
+		disableAuditPlacement = baseline
+		defer func() { disableAuditPlacement = false }()
+		opt := SonarOptions(24)
+		opt.Workers = 2
+		opt.BatchSize = 5
+		opt, mem := observedOptions(opt)
+		stats := RunParallelExec(netExecFactory(t), opt)
+		return result{stats: stats, stream: mem.Bytes()}
+	}
+	pre := run(true)
+	post := run(false)
+	if len(pre.stream) == 0 {
+		t.Fatal("no events emitted")
+	}
+	statsEqual(t, pre.stats, post.stats)
+	if !bytes.Equal(pre.stream, post.stream) {
+		t.Error("audit-ranked placement moved campaign event stream bytes")
+	}
+}

@@ -1,0 +1,168 @@
+// This file renders an Audit for humans and machines: a fixed-width text
+// report, a stable JSON document, and a Graphviz DOT graph of the contention
+// surface. Every exporter is deterministic — iteration is over the audit's
+// already-ordered slices, never over maps — so repeated runs are
+// byte-identical for a fixed (netlist, Spec).
+
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sonar/internal/trace"
+)
+
+// Text renders the audit as a fixed-width report: the seed summary, the
+// ranked point table, and the findings.
+func (au *Audit) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netlist %s: %d signals, %d muxes, %d contention points (%d monitorable), surface %d cascades\n",
+		au.Netlist.Name(), au.Netlist.NumSignals(), au.Netlist.NumMuxes(),
+		len(au.Points), len(au.Analysis.Monitored()), len(au.Surface))
+	fmt.Fprintf(&b, "taint: %d secret seeds, %d attacker seeds, %d passes to fixpoint; %d/%d points tainted, %d taint-pairs\n",
+		len(au.SecretSeeds), len(au.AttackerSeeds), au.Passes,
+		au.TaintedPoints(), len(au.Points), au.TaintPairPoints())
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%4s %5s %4s %5s %6s %6s %5s  %s\n",
+		"rank", "point", "mon", "taint", "shared", "depth", "fanin", "output")
+	for _, pa := range au.Points {
+		mon := "-"
+		if pa.Monitorable {
+			mon = "yes"
+		}
+		fmt.Fprintf(&b, "%4d %5d %4s %5s %6d %6d %5d  %s\n",
+			pa.Rank, pa.Point.ID, mon, pa.ConeTaint, pa.SharedFanin,
+			pa.ConeDepth, pa.Point.Fanin(), pa.Point.Out.Name())
+	}
+	if len(au.Findings) > 0 {
+		b.WriteString("\nfindings:\n")
+		for _, f := range au.Findings {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+// jsonAudit is the stable JSON shape of an audit.
+type jsonAudit struct {
+	Netlist       string        `json:"netlist"`
+	Signals       int           `json:"signals"`
+	Muxes         int           `json:"muxes"`
+	SecretSeeds   int           `json:"secret_seeds"`
+	AttackerSeeds int           `json:"attacker_seeds"`
+	Passes        int           `json:"passes"`
+	Surface       int           `json:"surface_cascades"`
+	Points        []jsonPoint   `json:"points"`
+	Findings      []jsonFinding `json:"findings"`
+}
+
+// jsonPoint is the stable JSON shape of one ranked point verdict.
+type jsonPoint struct {
+	Rank        int    `json:"rank"`
+	Point       int    `json:"point"`
+	Output      string `json:"output"`
+	Component   string `json:"component"`
+	Monitorable bool   `json:"monitorable"`
+	Taint       string `json:"taint"`
+	TaintPair   bool   `json:"taint_pair"`
+	SharedFanin int    `json:"shared_fanin"`
+	ConeDepth   int    `json:"cone_depth"`
+	Fanin       int    `json:"fanin"`
+}
+
+// jsonFinding is the stable JSON shape of one finding.
+type jsonFinding struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	PointID  int    `json:"point_id"`
+	Msg      string `json:"msg"`
+}
+
+// JSON renders the audit as an indented, stable JSON document.
+func (au *Audit) JSON() ([]byte, error) {
+	doc := jsonAudit{
+		Netlist:       au.Netlist.Name(),
+		Signals:       au.Netlist.NumSignals(),
+		Muxes:         au.Netlist.NumMuxes(),
+		SecretSeeds:   len(au.SecretSeeds),
+		AttackerSeeds: len(au.AttackerSeeds),
+		Passes:        au.Passes,
+		Surface:       len(au.Surface),
+		Points:        []jsonPoint{},
+		Findings:      []jsonFinding{},
+	}
+	for _, pa := range au.Points {
+		doc.Points = append(doc.Points, jsonPoint{
+			Rank:        pa.Rank,
+			Point:       pa.Point.ID,
+			Output:      pa.Point.Out.Name(),
+			Component:   pa.Point.Component,
+			Monitorable: pa.Monitorable,
+			Taint:       pa.ConeTaint.String(),
+			TaintPair:   pa.TaintPair,
+			SharedFanin: pa.SharedFanin,
+			ConeDepth:   pa.ConeDepth,
+			Fanin:       pa.Point.Fanin(),
+		})
+	}
+	for _, f := range au.Findings {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			Code:     string(f.Code),
+			Severity: f.Severity.String(),
+			PointID:  f.PointID,
+			Msg:      f.Msg,
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DOT renders the contention surface as one Graphviz digraph: a node per
+// ranked point (doubleoctagon, labeled with rank, taint, and output name)
+// and a box per requestor leaf. Labels are escaped through the same helper
+// trace.Point.DOT uses (trace.EscapeLabel), so bracketed, dotted, and
+// quoted signal names render safely.
+func (au *Audit) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph audit_%s {\n", sanitizeID(au.Netlist.Name()))
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontname=monospace fontsize=10];\n")
+	for _, pa := range au.Points {
+		label := fmt.Sprintf("#%d %s\ntaint: %s shared: %d depth: %d",
+			pa.Rank, pa.Point.Out.Name(), pa.ConeTaint, pa.SharedFanin, pa.ConeDepth)
+		shape := "doubleoctagon"
+		if !pa.Monitorable {
+			shape = "octagon"
+		}
+		fmt.Fprintf(&b, "  p%d [label=\"%s\" shape=%s];\n", pa.Point.ID, trace.EscapeLabel(label), shape)
+		if pa.Surface == nil {
+			continue
+		}
+		for li, leaf := range pa.Surface.Leaves {
+			label := leaf.Name()
+			if leaf.IsConst() {
+				label = fmt.Sprintf("const %d", leaf.Value())
+			}
+			label += "\ntaint: " + au.TaintOf(leaf).String()
+			fmt.Fprintf(&b, "  p%dr%d [label=\"%s\" shape=box];\n", pa.Point.ID, li, trace.EscapeLabel(label))
+			fmt.Fprintf(&b, "  p%dr%d -> p%d;\n", pa.Point.ID, li, pa.Point.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sanitizeID rewrites a netlist name into a bare DOT identifier.
+func sanitizeID(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+// This file holds the taint plane: seeding from the Spec and CellIFT-style
+// propagation of per-signal taint bitsets through the netlist's
+// combinational fabric in the simulator's levelized order, with a whole-pass
+// fixpoint over register feedback.
+
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"sonar/internal/hdl"
+)
+
+// seed matches the spec patterns against every signal and initializes the
+// taint plane. explicit marks a caller-provided spec: only then do
+// unmatched patterns become Error findings (the heuristic legitimately
+// finds nothing on source-free designs).
+func (au *Audit) seed(explicit bool) {
+	n := au.Netlist
+	au.taint = make([]Taint, n.NumSignals())
+	match := func(patterns []string, label Taint) ([]*hdl.Signal, []string) {
+		var hits []*hdl.Signal
+		var misses []string
+		add := func(s *hdl.Signal) {
+			if !au.taint[s.ID()].Has(label) {
+				au.taint[s.ID()] |= label
+				hits = append(hits, s)
+			}
+		}
+		for _, pat := range patterns {
+			// Exact names (the common case, and everything DefaultSpec
+			// emits) resolve by direct lookup; only genuine globs pay the
+			// full netlist scan.
+			if !strings.ContainsRune(pat, '*') {
+				if s, ok := n.Signal(pat); ok {
+					add(s)
+				} else {
+					misses = append(misses, pat)
+				}
+				continue
+			}
+			found := false
+			for _, s := range n.Signals() {
+				if matchGlob(pat, s.Name()) {
+					found = true
+					add(s)
+				}
+			}
+			if !found {
+				misses = append(misses, pat)
+			}
+		}
+		return hits, misses
+	}
+	var misses []string
+	var m []string
+	au.SecretSeeds, m = match(au.Spec.Secret, TaintSecret)
+	misses = append(misses, m...)
+	au.AttackerSeeds, m = match(au.Spec.Attacker, TaintAttacker)
+	misses = append(misses, m...)
+	if explicit {
+		for _, pat := range misses {
+			au.Findings = append(au.Findings, Finding{
+				Code: CodeUnmatchedPattern, Severity: Error, PointID: -1,
+				Msg: fmt.Sprintf("pattern %q matched no signal", pat),
+			})
+		}
+	}
+	if len(au.SecretSeeds) == 0 && len(au.AttackerSeeds) == 0 {
+		au.Findings = append(au.Findings, Finding{
+			Code: CodeNoSeeds, Severity: Info, PointID: -1,
+			Msg: "no taint sources designated or inferred; taint columns are vacuous",
+		})
+	}
+}
+
+// flowNode is one combinational producer in the propagation schedule: the
+// taint of out becomes the union over the taints of inputs.
+type flowNode struct {
+	out    *hdl.Signal
+	inputs []*hdl.Signal
+}
+
+// propagate runs the taint transfer function to fixpoint. The schedule is
+// the exact node set and Kahn levelization the simulator compiles with
+// (sim.New, mirrored by check.checkCycles): nodes are muxes, prims, and
+// source-driven buffer wires; edges run producer-to-consumer and break at
+// registers. One levelized pass settles all purely combinational flow; the
+// outer loop re-runs passes until register feedback stops adding labels.
+// The transfer function is monotone over a finite lattice, so the fixpoint
+// terminates in at most (register feedback depth + 1) passes.
+//
+// The MUX transfer is taint(out) = taint(sel) | taint(tval) | taint(fval):
+// like CellIFT's cell-level rule, a tainted select taints the output even
+// when both data inputs are clean, because the select decides *which* value
+// appears — precisely the influence arbitration grants an attacker.
+func (au *Audit) propagate() {
+	n := au.Netlist
+	var nodes []flowNode
+	producer := make(map[*hdl.Signal]int)
+	for _, m := range n.Muxes() {
+		producer[m.Out] = len(nodes)
+		nodes = append(nodes, flowNode{out: m.Out, inputs: []*hdl.Signal{m.Sel, m.TVal, m.FVal}})
+	}
+	for _, p := range n.Prims() {
+		producer[p.Out] = len(nodes)
+		nodes = append(nodes, flowNode{out: p.Out, inputs: p.Args})
+	}
+	for _, s := range n.Signals() {
+		if _, ok := n.Driver(s); ok {
+			continue
+		}
+		if _, ok := n.PrimDriver(s); ok {
+			continue
+		}
+		if len(s.Sources()) == 0 || s.IsConst() {
+			continue
+		}
+		producer[s] = len(nodes)
+		nodes = append(nodes, flowNode{out: s, inputs: s.Sources()})
+	}
+
+	// Kahn levelization, identical to the simulator's compile order.
+	indeg := make([]int, len(nodes))
+	succ := make([][]int, len(nodes))
+	for i, nd := range nodes {
+		for _, in := range nd.inputs {
+			if in.Kind() == hdl.Reg {
+				continue
+			}
+			if p, ok := producer[in]; ok {
+				succ[p] = append(succ[p], i)
+				indeg[i]++
+			}
+		}
+	}
+	order := make([]int, 0, len(nodes))
+	for i, d := range indeg {
+		if d == 0 {
+			order = append(order, i)
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, j := range succ[order[head]] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				order = append(order, j)
+			}
+		}
+	}
+	// Combinational cycles (hdl/check's CodeCycle territory) leave nodes
+	// unscheduled; append them in index order so the fixpoint still covers
+	// them — extra passes replace levelization there.
+	if len(order) < len(nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				order = append(order, i)
+			}
+		}
+	}
+
+	for {
+		au.Passes++
+		changed := false
+		for _, i := range order {
+			nd := &nodes[i]
+			t := au.taint[nd.out.ID()]
+			for _, in := range nd.inputs {
+				t |= au.taint[in.ID()]
+			}
+			if t != au.taint[nd.out.ID()] {
+				au.taint[nd.out.ID()] = t
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}

@@ -50,6 +50,7 @@ var canonicalPackages = []string{
 	"sonar/internal/core",
 	"sonar/internal/detect",
 	"sonar/internal/firrtl",
+	"sonar/internal/fleet",
 	"sonar/internal/fuzz",
 	"sonar/internal/hdl",
 	"sonar/internal/isa",

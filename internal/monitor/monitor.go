@@ -84,6 +84,25 @@ type Config struct {
 	// any valid-carrying request still never produce events (there is
 	// nothing to watch), but their monitors are carried.
 	IgnoreFilter bool
+	// Placement, when non-nil, is the exact ordered point list to
+	// instrument, overriding the default Monitored()/IgnoreFilter
+	// selection. The fuzzing engines pass the flow audit's rank order here;
+	// placement only reorders monitor-internal state, never the
+	// ID-keyed campaign outputs (Snapshot.Triggered and the interval maps
+	// are placement-invariant).
+	Placement []*trace.Point
+}
+
+// placementPoints resolves the ordered point list a monitor instruments
+// under this config.
+func (cfg *Config) placementPoints(a *trace.Analysis) []*trace.Point {
+	if cfg.Placement != nil {
+		return cfg.Placement
+	}
+	if cfg.IgnoreFilter {
+		return a.Points
+	}
+	return a.Monitored()
 }
 
 // Monitor instruments a set of contention points over a netlist.
@@ -105,10 +124,7 @@ func New(a *trace.Analysis, cfg Config) *Monitor {
 		cfg.SimilarityMask = ^uint64(0)
 	}
 	m := &Monitor{net: a.Netlist, cfg: cfg}
-	points := a.Monitored()
-	if cfg.IgnoreFilter {
-		points = a.Points
-	}
+	points := cfg.placementPoints(a)
 	m.states = newPointStates(points)
 	for pi, p := range points {
 		st := m.states[pi]

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"math"
+	"sort"
 
 	"sonar/internal/trace"
 )
@@ -96,7 +97,10 @@ func snapshotInto(s *Snapshot, states []*pointState) {
 }
 
 // Triggered returns the IDs of points where any contention was triggered:
-// a volatile simultaneous arrival or a persistent same-path revisit.
+// a volatile simultaneous arrival or a persistent same-path revisit. The
+// IDs are sorted ascending regardless of monitor placement order, so the
+// result (and every event stream built from it) is invariant under
+// audit-ranked placement permutations.
 func (s *Snapshot) Triggered() []int {
 	var ids []int
 	for i := range s.Points {
@@ -105,6 +109,7 @@ func (s *Snapshot) Triggered() []int {
 			ids = append(ids, p.Point.ID)
 		}
 	}
+	sort.Ints(ids)
 	return ids
 }
 

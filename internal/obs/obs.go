@@ -55,6 +55,10 @@ const (
 	MetricCheckpointLatency = "sonar_checkpoint_seconds"
 	MetricCheckpointBytes   = "sonar_checkpoint_bytes"
 	MetricCheckpointIter    = "sonar_checkpoint_iteration"
+	MetricFlowSurface       = "sonar_flow_surface_cascades"
+	MetricFlowTainted       = "sonar_flow_tainted_points"
+	MetricFlowTaintPairs    = "sonar_flow_taint_pair_points"
+	MetricFlowFindings      = "sonar_flow_findings"
 )
 
 // Observer publishes campaign metrics and forwards campaign events to its
@@ -380,6 +384,24 @@ func (o *Observer) SimCompileInfo(spilled, eliminated int) {
 	}
 	o.Metrics.Gauge(MetricSimSpilled, "Simulator nodes on the scalar-spill slow path after compile.").Set(float64(spilled))
 	o.Metrics.Gauge(MetricSimEliminated, "Simulator nodes removed by the optimizing compile pipeline.").Set(float64(eliminated))
+}
+
+// FlowInfo publishes the static information-flow audit gauges for the
+// device under test (internal/hdl/flow): the contention-surface size, how
+// many points any taint reaches, how many points both the secret and the
+// attacker reach, and the audit's finding count by severity. Like
+// SimCompileInfo, the gauges are registered lazily on first call so
+// campaigns that never audit leave them absent rather than reporting a
+// misleading zero.
+func (o *Observer) FlowInfo(surface, tainted, taintPairs, infoFindings, errorFindings int) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Gauge(MetricFlowSurface, "Contention-surface MUX cascades found by the flow audit.").Set(float64(surface))
+	o.Metrics.Gauge(MetricFlowTainted, "Contention points reached by any taint label.").Set(float64(tainted))
+	o.Metrics.Gauge(MetricFlowTaintPairs, "Contention points reached by both secret and attacker taint.").Set(float64(taintPairs))
+	o.Metrics.GaugeVec(MetricFlowFindings, "Flow audit findings by severity.", "severity").At("info").Set(float64(infoFindings))
+	o.Metrics.GaugeVec(MetricFlowFindings, "Flow audit findings by severity.", "severity").At("error").Set(float64(errorFindings))
 }
 
 // Close closes every attached sink, joining their errors. The Observer

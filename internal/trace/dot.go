@@ -7,6 +7,30 @@ import (
 	"sonar/internal/hdl"
 )
 
+// EscapeLabel escapes a string for use inside a double-quoted Graphviz DOT
+// label: backslashes and double quotes are backslash-escaped and literal
+// newlines become the DOT line-break escape \n. Signal names with brackets,
+// dots, or quotes pass through safely. Both Point.DOT and the audit DOT
+// exporter (internal/hdl/flow) build labels with real newlines and quote
+// them through this one helper.
+func EscapeLabel(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // DOT renders a contention point's MUX cascade tree in Graphviz DOT form:
 // the tree root, interior 2:1 MUXes, select signals, and leaf requests with
 // their validity. Useful when debugging a reported side channel — the
@@ -16,12 +40,12 @@ func (p *Point) DOT() string {
 	fmt.Fprintf(&b, "digraph point%d {\n", p.ID)
 	b.WriteString("  rankdir=BT;\n")
 	b.WriteString("  node [fontname=monospace fontsize=10];\n")
-	fmt.Fprintf(&b, "  out [label=%q shape=doubleoctagon];\n", p.Out.Name())
+	fmt.Fprintf(&b, "  out [label=\"%s\" shape=doubleoctagon];\n", EscapeLabel(p.Out.Name()))
 
 	muxID := make(map[*hdl.Mux]int, len(p.Muxes))
 	for i, m := range p.Muxes {
 		muxID[m] = i
-		fmt.Fprintf(&b, "  m%d [label=\"mux\\nsel: %s\" shape=invtrapezium];\n", i, m.Sel.Local())
+		fmt.Fprintf(&b, "  m%d [label=\"%s\" shape=invtrapezium];\n", i, EscapeLabel("mux\nsel: "+m.Sel.Local()))
 	}
 	fmt.Fprintf(&b, "  m0 -> out;\n")
 
@@ -52,16 +76,16 @@ func (p *Point) DOT() string {
 				label = fmt.Sprintf("const %d", r.Data.Value())
 				shape = "plaintext"
 			case !r.HasValid():
-				label += "\\n(constantly valid)"
+				label += "\n(constantly valid)"
 				shape = "box3d"
 			default:
 				valids := make([]string, len(r.Valids))
 				for k, v := range r.Valids {
 					valids[k] = v.Local()
 				}
-				label += "\\nvalid: " + strings.Join(valids, " & ")
+				label += "\nvalid: " + strings.Join(valids, " & ")
 			}
-			fmt.Fprintf(&b, "  r%d [label=%q shape=%s];\n", leaf, label, shape)
+			fmt.Fprintf(&b, "  r%d [label=\"%s\" shape=%s];\n", leaf, EscapeLabel(label), shape)
 			fmt.Fprintf(&b, "  r%d -> m%d [label=%q];\n", leaf, muxID[m], in.port)
 			leaf++
 		}
